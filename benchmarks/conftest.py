@@ -1,0 +1,36 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+default reproduction scale, saves the rendered table under
+``benchmarks/results/`` and asserts the qualitative shape the paper
+reports.  ``pytest benchmarks/ --benchmark-only`` runs the lot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import DEFAULT_POLICY
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The scale every benchmark runs at (see EXPERIMENTS.md for methodology).
+BENCH_POLICY = DEFAULT_POLICY
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n[saved to {path}]")
+
+    return _save

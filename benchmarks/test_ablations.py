@@ -1,0 +1,77 @@
+"""Design-choice ablations beyond the paper's headline figures.
+
+Covers the design decisions DESIGN.md calls out:
+
+- §VI-B "what didn't work": prefetching (hurts: extra traffic and cache
+  pollution for a bandwidth-hungry workload) and task coalescing
+  (changes nothing: the cache already captures the reuse);
+- the per-tree search-index cache (this reproduction's context-memory
+  refinement; see DESIGN.md §6) — functionally invisible, never slower;
+- phase-2 speculative fetch width — more in-flight candidate fetches
+  hide latency per search engine.
+"""
+
+import dataclasses
+
+from repro.analysis import experiments as ex
+from repro.motifs.catalog import M1
+from repro.sim.accelerator import MintSimulator
+
+from conftest import BENCH_POLICY
+
+
+def _run(workload, **overrides):
+    cfg = ex.scaled_mint_config(workload, BENCH_POLICY)
+    cfg = dataclasses.replace(cfg, **overrides)
+    return MintSimulator(workload.graph, M1, workload.delta, cfg).run()
+
+
+def test_ablation_suite(benchmark, save_result):
+    w = ex.build_workload("wiki-talk", BENCH_POLICY)
+
+    def run_all():
+        return {
+            "baseline": _run(w),
+            "prefetch2": _run(w, prefetch_degree=2),
+            "coalescing": _run(w, task_coalescing=True),
+            "no_tree_cache": _run(w, per_tree_index_cache=False),
+            "phase2_w1": _run(w, phase2_window=1),
+            "phase2_w8": _run(w, phase2_window=8),
+            "ideal_memory": _run(w, ideal_memory=True),
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base = reports["baseline"]
+    lines = ["variant        cycles        DRAM MB   vs baseline"]
+    for name, rep in reports.items():
+        lines.append(
+            f"{name:<14} {rep.cycles:>12,}  {rep.dram_bytes / 1e6:8.2f}   "
+            f"{base.cycles / rep.cycles:5.2f}x"
+        )
+    save_result("ablations", "\n".join(lines))
+
+    # Every variant is functionally identical.
+    for name, rep in reports.items():
+        assert rep.matches == base.matches, name
+
+    # Prefetching adds traffic and does not help (§VI-B).
+    assert reports["prefetch2"].dram_bytes > base.dram_bytes
+    assert reports["prefetch2"].cycles >= base.cycles * 0.95
+
+    # Task coalescing changes essentially nothing (§VI-B).
+    assert abs(reports["coalescing"].cycles - base.cycles) <= base.cycles * 0.05
+
+    # The per-tree index cache never hurts and reduces streaming.
+    assert base.cycles <= reports["no_tree_cache"].cycles * 1.05
+    assert (
+        base.walk.index_items_streamed
+        <= reports["no_tree_cache"].walk.index_items_streamed
+    )
+
+    # Narrower phase-2 speculation exposes more latency.
+    assert reports["phase2_w1"].cycles >= reports["phase2_w8"].cycles * 0.95
+
+    # The workload is memory-bound: idealized single-cycle memory is
+    # substantially faster (§VI-B's "engines wait on DRAM" observation).
+    assert reports["ideal_memory"].cycles < base.cycles * 0.7

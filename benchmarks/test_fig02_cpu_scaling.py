@@ -1,0 +1,40 @@
+"""Fig. 2 — CPU thread scaling (left) and CPI stall distribution (right).
+
+Paper shape: normalized runtime falls with threads but saturates beyond
+8-32 threads; small datasets degrade at high thread counts; at 32 threads
+on wiki-talk the CPI stack is dominated by DRAM stalls (72.5%) with
+branch stalls second (22.7%).
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_POLICY
+
+
+def test_fig02_cpu_scaling_and_cpi(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig2(BENCH_POLICY), rounds=1, iterations=1
+    )
+    save_result("fig02_cpu_scaling", result.table())
+
+    for name, curve in result.scaling.items():
+        times = [t for _, t in curve]
+        assert times[0] == 1.0
+        # Threads help at first ...
+        assert min(times) < 0.5, name
+        # ... but scaling saturates: the best point is not the last one
+        # for the small datasets, and no dataset keeps improving linearly.
+        assert times[-1] > min(times) * 1.05 or min(times) > 1 / 64
+
+    # Small datasets saturate earlier than large ones (paper Fig. 2).
+    best_threads = {
+        name: min(curve, key=lambda p: p[1])[0]
+        for name, curve in result.scaling.items()
+    }
+    assert best_threads["em"] <= best_threads["so"]
+
+    # CPI stack: DRAM stalls dominate, branch stalls second (Fig. 2 right).
+    stack = result.cpi_stack
+    assert stack["dram-stall"] > 0.5
+    assert stack["dram-stall"] > stack["branch-stall"]
+    assert stack["branch-stall"] >= stack["no-stall"] * 0.5

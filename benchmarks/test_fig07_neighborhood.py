@@ -1,0 +1,36 @@
+"""Fig. 7 — neighborhood utilization decays with algorithm progress.
+
+Paper shape: for hot nodes of wiki-talk and stackoverflow under M1, the
+fraction of the neighbor-index list that the phase-1 filter keeps starts
+near 1.0 and decays toward 0.0 as mining proceeds chronologically — the
+observation that motivates search index memoization.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_POLICY
+
+
+def test_fig07_neighborhood_utilization(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig7(BENCH_POLICY), rounds=1, iterations=1
+    )
+    save_result("fig07_neighborhood_utilization", result.table())
+
+    assert set(result.series) == {
+        "m1_wt_node1",
+        "m1_wt_node2",
+        "m1_so_node1",
+        "m1_so_node2",
+    }
+    for label, series in result.series.items():
+        fr = series.fractions()
+        assert len(fr) >= 10, f"{label}: hot node was barely filtered"
+        # Starts high ...
+        assert np.mean(fr[: max(1, len(fr) // 10)]) > 0.6, label
+        # ... ends low ...
+        assert np.mean(fr[-max(1, len(fr) // 10):]) < 0.4, label
+        # ... and decreases overall.
+        assert series.is_decreasing_trend(), label

@@ -1,0 +1,44 @@
+"""Fig. 10 — search index memoization benefit.
+
+Paper shape: Mint beats the Mackey CPU baseline with and without
+memoization; memoization improves Mint further (4x on average in the
+paper) and cuts memory traffic (2.8x on average, up to 30.6x), with the
+effect concentrated on the hub-heavy large datasets (wiki-talk,
+stackoverflow) whose top neighborhoods dwarf the small datasets'.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.reporting import geomean
+
+from conftest import BENCH_POLICY
+
+
+def test_fig10_memoization(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig10(BENCH_POLICY), rounds=1, iterations=1
+    )
+    save_result("fig10_memoization", result.table())
+
+    assert len(result.rows) == 24  # 6 datasets x 4 motifs
+
+    # Mint (with memoization) wins on every workload.
+    for row in result.rows:
+        assert row.speedup_memo > 1.0, f"{row.dataset}/{row.motif}"
+
+    # Memoization helps on average ...
+    assert result.geomean_memo_gain() > 1.2
+    # ... and reduces average memory traffic.
+    assert result.geomean_traffic_reduction() > 1.0
+
+    # The effect concentrates on the large hub-heavy datasets.
+    def mean_gain(ds):
+        return geomean(r.memo_gain for r in result.rows if r.dataset == ds)
+
+    large = geomean([mean_gain("wt"), mean_gain("so")])
+    small = geomean([mean_gain("em"), mean_gain("mo"), mean_gain("ub")])
+    assert large > small
+
+    # Peak traffic reduction lands on stackoverflow (paper: up to 30.6x).
+    best = max(result.rows, key=lambda r: r.traffic_reduction)
+    assert best.dataset in ("so", "wt")
+    assert best.traffic_reduction > 3.0

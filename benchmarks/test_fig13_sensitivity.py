@@ -1,0 +1,48 @@
+"""Fig. 13 — sensitivity to PE count and cache size.
+
+Paper shape (M1 on wiki-talk): performance scales with both resources
+(75.7x from 1 PE / 1 MB to 1024 PE / 4 MB); bandwidth utilization grows
+with PE count; the cache hit rate falls as more concurrent trees thrash
+the cache.  At laptop scale the workload saturates earlier (hundreds of
+PEs rather than a thousand), but the low-to-mid-range trends hold.
+"""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_POLICY
+
+PE_COUNTS = (1, 4, 16, 64, 256, 512, 1024)
+CACHE_SCALES = (1.0, 2.0, 4.0)
+
+
+def test_fig13_sensitivity(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig13(
+            BENCH_POLICY, pe_counts=PE_COUNTS, cache_scales=CACHE_SCALES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig13_sensitivity", result.table())
+
+    assert len(result.cells) == len(PE_COUNTS) * len(CACHE_SCALES)
+    speed = result.grid("speedup")
+    bw = result.grid("bandwidth_pct")
+    hit = result.grid("hit_rate_pct")
+
+    # Normalized to the 1-PE / 1x-cache corner.
+    assert speed[(1, 1.0)] == 1.0
+
+    # Adding PEs helps substantially through the mid range.
+    assert speed[(16, 1.0)] > 2.0
+    assert speed[(64, 1.0)] > speed[(4, 1.0)]
+    best = max(speed.values())
+    assert best > 10.0
+
+    # Bandwidth utilization grows with PE count (compute -> memory bound).
+    assert bw[(256, 1.0)] > bw[(1, 1.0)]
+
+    # Hit rate falls as concurrent trees thrash the cache ...
+    assert hit[(512, 1.0)] < hit[(1, 1.0)] + 1e-9
+    # ... and a larger cache recovers some of it.
+    assert hit[(512, 4.0)] >= hit[(512, 1.0)] - 0.5

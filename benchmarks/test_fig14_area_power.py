@@ -1,0 +1,33 @@
+"""Fig. 14 — area and power of the full Mint design (28 nm, 1.6 GHz).
+
+Paper numbers: 28.3 mm2 and 5.1 W total, with the 4 MB multi-banked
+cache dominating both and the 512 context memory instances second in
+area.  The model is calibrated to the published component table and must
+reproduce it at the reference configuration.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis.area_power import AreaPowerModel
+from repro.sim.config import MintConfig
+
+
+def test_fig14_area_power(benchmark, save_result):
+    table = benchmark.pedantic(ex.run_fig14, rounds=1, iterations=1)
+    save_result("fig14_area_power", table)
+
+    model = AreaPowerModel()
+    cfg = MintConfig()
+    assert model.total_area_mm2(cfg) == pytest.approx(28.3, abs=0.2)
+    assert model.total_power_w(cfg) == pytest.approx(5.1, abs=0.15)
+
+    rows = {c.name: c for c in model.breakdown(cfg)}
+    cache = rows["64 KB cache"]
+    # The cache dominates area and power (the paper justifies this by the
+    # Fig. 13 sensitivity).
+    assert cache.area_mm2 > 0.5 * model.total_area_mm2(cfg)
+    assert cache.power_mw > 0.5 * model.total_power_w(cfg) * 1000
+    # Context memory is the second-largest area consumer.
+    others = sorted(rows.values(), key=lambda c: c.area_mm2, reverse=True)
+    assert others[1].name == "Context Mem"

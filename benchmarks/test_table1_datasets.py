@@ -1,0 +1,18 @@
+"""Table I — evaluation datasets (scaled synthetic equivalents)."""
+
+from repro.analysis import experiments as ex
+
+from conftest import BENCH_POLICY
+
+
+def test_table1_datasets(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_table1(BENCH_POLICY), rounds=1, iterations=1
+    )
+    save_result("table1_datasets", result.table())
+
+    # Paper shape: six datasets, sizes strictly ordered em -> so.
+    assert len(result.rows) == 6
+    edge_counts = [int(r[2].replace(",", "")) for r in result.rows]
+    assert edge_counts[0] == min(edge_counts)
+    assert edge_counts[-1] == max(edge_counts)

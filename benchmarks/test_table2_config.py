@@ -1,0 +1,18 @@
+"""Table II — Mint system configuration."""
+
+from repro.analysis import experiments as ex
+from repro.sim.config import MintConfig
+
+
+def test_table2_configuration(benchmark, save_result):
+    table = benchmark.pedantic(ex.run_table2, rounds=1, iterations=1)
+    save_result("table2_config", table)
+
+    # The paper's evaluated system: 512 PEs, 4 MB cache, DDR4-3200.
+    assert "512x" in table
+    assert "4 MB total" in table
+    assert "204.8" in table
+    cfg = MintConfig()
+    assert cfg.num_pes == 512
+    assert cfg.cache.total_mb == 4.0
+    assert cfg.frequency_ghz == 1.6

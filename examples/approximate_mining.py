@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Approximate mining: window sampling (PRESTO) vs edge sampling.
+
+The paper's §II-C surveys two sampling families and argues Mint helps
+both, because both run the exact miner as a subroutine.  This example
+compares their accuracy/work trade-offs on the same workload:
+
+- PRESTO samples c·δ windows — cheap per sample, blind to instances it
+  never covers, variance driven by temporal burstiness;
+- edge sampling keeps each edge with probability p — sees the whole
+  timeline, but an l-edge instance survives only with probability p^l,
+  so variance explodes with motif size.
+
+Run:  python examples/approximate_mining.py
+"""
+
+from repro.analysis.charts import bar_chart
+from repro.graph.generators import make_dataset
+from repro.mining.edge_sampling import EdgeSamplingEstimator
+from repro.mining.mackey import count_motifs
+from repro.mining.presto import PrestoEstimator
+from repro.motifs.catalog import M1, M4
+
+
+def main() -> None:
+    graph = make_dataset("email-eu", scale=0.5, seed=2)
+    delta = graph.time_span // 300
+    print(f"workload: {graph}, delta={delta}s\n")
+
+    for motif in (M1, M4):
+        exact = count_motifs(graph, motif, delta)
+        presto = PrestoEstimator(graph, motif, delta, c=1.6, seed=0).estimate(80)
+        edges = EdgeSamplingEstimator(graph, motif, delta, p=0.6, seed=0).estimate(20)
+        print(f"--- {motif.name} ({motif.num_edges} edges) ---")
+        print(f"exact count: {exact}")
+        rows = {
+            "PRESTO estimate": presto.estimate,
+            "edge-sampling estimate": edges.estimate,
+            "exact": float(exact),
+        }
+        print(bar_chart(rows, width=36))
+        print(
+            f"relative std error: PRESTO {presto.relative_std_error():.1%}  "
+            f"edge-sampling {edges.relative_std_error():.1%}"
+        )
+        print(
+            "candidates examined: "
+            f"PRESTO {presto.counters.candidates_scanned:,}  "
+            f"edge-sampling {edges.counters.candidates_scanned:,}  "
+            f"exact {count_work(graph, motif, delta):,}\n"
+        )
+
+    print(
+        "takeaway: PRESTO is cheap per sample but high-variance (it only\n"
+        "sees instances its windows cover); edge sampling is accurate but\n"
+        "its cost grows with p and trial count — at these settings it\n"
+        "spends MORE candidates than the exact miner for its accuracy.\n"
+        "Both run the exact miner as the inner loop, which is why the\n"
+        "paper notes Mint accelerates approximate mining too (§II-C)."
+    )
+
+
+def count_work(graph, motif, delta) -> int:
+    from repro.mining.mackey import MackeyMiner
+
+    return MackeyMiner(graph, motif, delta).mine().counters.candidates_scanned
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Fraud detection in a financial transaction network (paper §II-B).
+
+The paper motivates exact temporal motif mining with financial fraud:
+temporal *cycles* of transactions (money leaving an account and returning
+to it through intermediaries within a short window) indicate artificial
+volume / layering schemes, and exact enumeration — not sampling — is
+required because every instance matters.
+
+This example synthesizes a transaction network with a small injected
+"carousel" ring that cycles funds through 3-4 mule accounts, then uses
+the exact miner to enumerate temporal cycles and rank accounts by how
+often they participate.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from collections import Counter
+from typing import List, Tuple
+
+import numpy as np
+
+from repro import M1, M3, MackeyMiner, TemporalGraph
+from repro.mining.presto import PrestoEstimator
+
+HOUR = 3_600
+DAY = 24 * HOUR
+
+
+def build_transaction_network(
+    num_accounts: int = 400,
+    num_transactions: int = 6_000,
+    num_rings: int = 3,
+    seed: int = 11,
+) -> Tuple[TemporalGraph, List[List[int]]]:
+    """Random commerce traffic plus a few injected carousel rings."""
+    rng = np.random.default_rng(seed)
+    span = 90 * DAY
+    edges: List[Tuple[int, int, int]] = []
+
+    # Background commerce: customers pay heavy-tailed merchants.
+    popularity = (np.arange(1, num_accounts + 1) ** -1.8).astype(float)
+    rng.shuffle(popularity)
+    popularity /= popularity.sum()
+    for _ in range(num_transactions):
+        payer = int(rng.integers(num_accounts))
+        payee = int(rng.choice(num_accounts, p=popularity))
+        if payee == payer:
+            payee = (payee + 1) % num_accounts
+        edges.append((payer, payee, int(rng.uniform(0, span))))
+
+    # Injected carousel rings: funds hop around a cycle within minutes.
+    rings: List[List[int]] = []
+    for r in range(num_rings):
+        ring = list(rng.choice(num_accounts, size=3 + r % 2, replace=False))
+        rings.append([int(a) for a in ring])
+        for _ in range(6):  # each ring runs its carousel several times
+            t = rng.uniform(0, span - HOUR)
+            for i, src in enumerate(ring):
+                dst = ring[(i + 1) % len(ring)]
+                t += rng.uniform(60, 600)  # 1-10 minutes between hops
+                edges.append((int(src), int(dst), int(t)))
+    return TemporalGraph(edges), rings
+
+
+def main() -> None:
+    graph, injected = build_transaction_network()
+    delta = HOUR
+    print(f"transaction network: {graph}")
+    print(f"injected rings: {injected}")
+
+    suspicious: Counter = Counter()
+    for motif, label in ((M1, "3-cycle"), (M3, "4-cycle")):
+        result = MackeyMiner(graph, motif, delta, record_matches=True).mine()
+        print(f"\nexact {label} count within {delta}s window: {result.count}")
+        for match in result.matches or ():
+            for account in match.node_map:
+                suspicious[account] += 1
+
+    print("\ntop suspicious accounts (by cycle participation):")
+    ring_members = {a for ring in injected for a in ring}
+    hits = 0
+    for account, score in suspicious.most_common(12):
+        flag = "  <-- injected ring member" if account in ring_members else ""
+        hits += account in ring_members
+        print(f"  account {account:4d}: {score:4d} cycles{flag}")
+    print(f"\n{hits}/12 top-ranked accounts are injected ring members")
+
+    # Why exact mining matters here (paper §II-C): sampling estimates the
+    # *count* well but cannot enumerate the participants.
+    est = PrestoEstimator(graph, M1, delta, c=1.5, seed=0).estimate(100)
+    print(
+        f"\nPRESTO count estimate for comparison: {est.estimate:.1f} "
+        f"(exact {MackeyMiner(graph, M1, delta).mine().count}; sampling "
+        "gives counts, not the account-level evidence enumeration gives)"
+    )
+
+
+if __name__ == "__main__":
+    main()

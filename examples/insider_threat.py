@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Insider threat detection in an organization network (paper §II-B).
+
+Mackey et al. — the algorithm Mint accelerates — was originally motivated
+by detecting insider threats: unusual *temporal* patterns of interactions
+between a user and resources, invisible to static analysis because the
+individual interactions all look normal.
+
+This example synthesizes an organization's access log (users -> services)
+and plants an exfiltration pattern: a user who, within a short window,
+touches an unusual fan of services in sequence (an out-star, the paper's
+M4) and relays data to an external drop (a chain).  Static analysis sees
+only edges that also occur benignly; the δ-window motif count separates
+the insider cleanly.
+
+Run:  python examples/insider_threat.py
+"""
+
+from collections import Counter
+from typing import List, Tuple
+
+import numpy as np
+
+from repro import M4, MackeyMiner, TemporalGraph
+from repro.motifs.motif import Motif
+from repro.mining.static_mining import count_static_embeddings
+
+HOUR = 3_600
+DAY = 24 * HOUR
+
+#: user -> serviceA, serviceA -> user (pull), user -> external (push):
+#: a fetch-and-exfiltrate relay chain.
+EXFIL_RELAY = Motif.from_labels(
+    [("U", "S"), ("S", "U"), ("U", "X")], name="exfil-relay"
+)
+
+
+def build_access_log(
+    num_users: int = 120,
+    num_services: int = 40,
+    events: int = 9_000,
+    seed: int = 23,
+) -> Tuple[TemporalGraph, int]:
+    """Benign 9-to-5-ish access traffic plus one planted insider."""
+    rng = np.random.default_rng(seed)
+    span = 30 * DAY
+    ext = num_users + num_services  # one external drop node
+    edges: List[Tuple[int, int, int]] = []
+
+    for _ in range(events):
+        user = int(rng.integers(num_users))
+        service = num_users + int(rng.integers(num_services))
+        t = int(rng.uniform(0, span))
+        edges.append((user, service, t))
+        if rng.random() < 0.5:  # service responds (read-back)
+            edges.append((service, user, t + int(rng.uniform(1, 120))))
+        if rng.random() < 0.01:  # rare benign external upload
+            edges.append((user, ext, t + int(rng.uniform(1, 600))))
+
+    insider = 7
+    for day in range(4):  # four exfiltration sessions
+        t = float(2 * DAY + day * 6 * DAY + rng.uniform(0, HOUR))
+        for _ in range(5):  # sweep five services in quick succession
+            service = num_users + int(rng.integers(num_services))
+            t += rng.uniform(20, 180)
+            edges.append((insider, service, int(t)))
+            t += rng.uniform(5, 60)
+            edges.append((service, insider, int(t)))
+            t += rng.uniform(5, 60)
+            edges.append((insider, ext, int(t)))
+    return TemporalGraph(edges), insider
+
+
+def main() -> None:
+    graph, insider = build_access_log()
+    delta = HOUR
+    print(f"organization access log: {graph}")
+    print(f"planted insider: user {insider}\n")
+
+    for motif, label in ((EXFIL_RELAY, "fetch-and-exfiltrate relay"),
+                         (M4, "rapid service sweep (out-star)")):
+        result = MackeyMiner(graph, motif, delta, record_matches=True).mine()
+        by_actor: Counter = Counter()
+        for match in result.matches or ():
+            by_actor[match.node_map[0]] += 1  # motif node 0 is the actor
+        print(f"{label} ({motif.name}): {result.count} instances in {delta}s windows")
+        for actor, n in by_actor.most_common(5):
+            flag = "  <-- planted insider" if actor == insider else ""
+            print(f"    user {actor:4d}: {n:5d} instances{flag}")
+        top = by_actor.most_common(1)
+        if top:
+            print(f"    detected: user {top[0][0]} "
+                  f"({'HIT' if top[0][0] == insider else 'miss'})")
+        print()
+
+    # Why temporal (paper §III-C): the static pattern is everywhere.
+    static = count_static_embeddings(graph, EXFIL_RELAY)
+    temporal = MackeyMiner(graph, EXFIL_RELAY, delta).mine().count
+    print(
+        f"static embeddings of the relay pattern: {static:,} vs "
+        f"temporal instances: {temporal:,} — static analysis alone "
+        f"({static / max(1, temporal):.0f}x more candidates) cannot isolate the behaviour"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Temporal network fingerprinting with the 36-motif grid (paper §II-B).
+
+The paper cites network classification via temporal motif distributions
+("features built with temporal motif distributions ... outperform their
+static counterparts").  This example computes the 36-motif grid census
+of Paranjape et al. for each synthetic dataset and shows that the
+resulting distribution acts as a *fingerprint*: datasets of the same
+kind (two seeds of the same generator) are far closer to each other than
+to different networks.
+
+Run:  python examples/network_fingerprint.py
+"""
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.analysis.charts import bar_chart
+from repro.graph.generators import dataset_spec, synthesize
+from repro.mining.multi import grid_census, render_grid
+
+# Two behaviourally distinct network cultures, built from the same base
+# recipe but with opposite interaction styles.
+_BASE = dataset_spec("email-eu")
+REPLY_CULTURE = dataclasses.replace(
+    _BASE, name="reply-culture", reply_prob=0.55, cascade_prob=0.08, close_prob=0.02
+)
+CASCADE_CULTURE = dataclasses.replace(
+    _BASE, name="cascade-culture", reply_prob=0.05, cascade_prob=0.50, close_prob=0.30
+)
+
+
+def census_distribution(spec, seed: int) -> Dict[Tuple[int, int], float]:
+    graph = synthesize(spec, scale=0.25, seed=seed)
+    delta = graph.time_span // (graph.num_edges // 5)  # ~5 edges per window
+    census = grid_census(graph, delta)
+    total = sum(census.values()) or 1
+    return {k: v / total for k, v in census.items()}
+
+
+def l1_distance(a, b) -> float:
+    return sum(abs(a[k] - b[k]) for k in a)
+
+
+def main() -> None:
+    print("computing 36-motif censuses (this mines 36 motifs per graph)...\n")
+    fingerprints = {
+        ("reply", 1): census_distribution(REPLY_CULTURE, 1),
+        ("reply", 2): census_distribution(REPLY_CULTURE, 2),
+        ("cascade", 1): census_distribution(CASCADE_CULTURE, 1),
+        ("cascade", 2): census_distribution(CASCADE_CULTURE, 2),
+    }
+
+    # Show one raw census for flavour.
+    g = synthesize(REPLY_CULTURE, scale=0.25, seed=1)
+    delta = g.time_span // (g.num_edges // 5)
+    print("reply-culture grid census (counts):")
+    print(render_grid(grid_census(g, delta)))
+
+    print("\npairwise L1 distances between motif distributions:")
+    keys = list(fingerprints)
+    dist: Dict[str, float] = {}
+    for i, a in enumerate(keys):
+        for b in keys[i + 1:]:
+            d = l1_distance(fingerprints[a], fingerprints[b])
+            dist[f"{a[0]}#{a[1]} vs {b[0]}#{b[1]}"] = round(d, 3)
+    print(bar_chart(dist, width=40))
+
+    same = max(dist["reply#1 vs reply#2"], dist["cascade#1 vs cascade#2"])
+    cross = min(v for k, v in dist.items() if k.count("reply") == 1)
+    print(
+        f"\nworst same-culture distance {same:.3f} vs best cross-culture "
+        f"{cross:.3f} -> the census separates interaction styles: "
+        f"{'YES' if same < cross else 'no'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: build a temporal graph, define a δ-temporal motif, mine it.
+
+Reproduces the paper's Fig. 1 walk-through: a six-edge temporal graph in
+which exactly one δ=25 three-cycle exists, then the same mining on a
+synthetic communication network with the paper's M1-M4 motifs, and
+finally a run of the Mint accelerator simulator on the same problem.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import M1, M2, M3, M4, MackeyMiner, MintConfig, MintSimulator, TemporalGraph
+from repro.graph.generators import make_dataset
+from repro.motifs.motif import Motif
+
+
+def fig1_walkthrough() -> None:
+    print("=== Fig. 1 walk-through ===")
+    # The input graph of the paper's Fig. 1(a): directed timestamped edges.
+    graph = TemporalGraph(
+        [
+            (0, 1, 5),
+            (1, 2, 10),
+            (2, 0, 20),
+            (2, 3, 25),
+            (1, 2, 30),
+            (0, 1, 40),
+        ]
+    )
+    # The δ-temporal motif of Fig. 1(b): a three-node cycle, δ = 25.
+    motif = Motif.from_labels([("A", "B"), ("B", "C"), ("C", "A")], name="3-cycle")
+
+    result = MackeyMiner(graph, motif, delta=25, record_matches=True).mine()
+    print(f"graph: {graph}")
+    print(f"motif: {motif}, delta=25")
+    print(f"matches found: {result.count}")
+    for match in result.matches:
+        edges = [graph.edge(i) for i in match.edge_indices]
+        print("  valid motif:", " -> ".join(f"{e.src}->{e.dst}@{e.t}" for e in edges))
+    # Fig. 1(d): with delta=10 the same edges violate the window.
+    print(f"with delta=10: {MackeyMiner(graph, motif, 10).mine().count} matches")
+
+
+def mine_synthetic_network() -> None:
+    print("\n=== Mining M1-M4 on a synthetic email network ===")
+    graph = make_dataset("email-eu", scale=0.3, seed=1)
+    delta = graph.time_span // 200
+    print(f"graph: {graph}, delta={delta}s")
+    for motif in (M1, M2, M3, M4):
+        result = MackeyMiner(graph, motif, delta).mine()
+        c = result.counters
+        print(
+            f"  {motif.name}: {result.count:6d} matches   "
+            f"(candidates examined: {c.candidates_scanned:,}, "
+            f"search tasks: {c.searches:,})"
+        )
+
+
+def simulate_accelerator() -> None:
+    print("\n=== Mint accelerator simulation ===")
+    graph = make_dataset("email-eu", scale=0.3, seed=1)
+    delta = graph.time_span // 200
+    config = MintConfig(num_pes=128).with_cache_mb(0.0625)
+    report = MintSimulator(graph, M1, delta, config).run()
+    print(f"config: {config.num_pes} PEs, {config.cache.total_mb * 1024:.0f} KB cache")
+    print(f"matches: {report.matches} (identical to software by construction)")
+    print(f"cycles: {report.cycles:,}  ({report.seconds * 1e6:.1f} us at 1.6 GHz)")
+    print(f"DRAM traffic: {report.dram_bytes / 1e6:.2f} MB")
+    print(f"bandwidth utilization: {report.bandwidth_utilization:.1%}")
+    print(f"cache hit rate: {report.cache_hit_rate:.1%}")
+    print(f"PE time waiting on memory: {report.memory_wait_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    fig1_walkthrough()
+    mine_synthetic_network()
+    simulate_accelerator()

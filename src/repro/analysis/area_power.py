@@ -1,0 +1,122 @@
+"""Area and power model for the Mint design (paper Fig. 14).
+
+The paper reports post-synthesis (28 nm, 1.6 GHz) area and power for
+every hardware component of the 512-PE configuration.  This module is an
+analytic model *calibrated to those published numbers*: per-instance and
+per-KB cost coefficients are derived by dividing the paper's component
+totals by the evaluated configuration's counts, so the default
+configuration reproduces Fig. 14 exactly, and alternative configurations
+(the Fig. 13 PE/cache sweeps) scale physically — context-memory, manager,
+dispatcher and search-engine costs scale with the PE count, cache cost
+with SRAM capacity (leakage) plus bank count (peripheral/dynamic), and
+the one-to-all crossbar with the PE count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.config import MintConfig
+
+# Paper Fig. 14 reference configuration and component measurements.
+_REF_PES = 512
+_REF_CACHE_KB = 64 * 64  # 64 banks x 64 KB
+_REF_BANKS = 64
+
+# (area mm^2, power mW) totals at the reference configuration.
+_REF = {
+    "Target Motif": (0.0008, 6.8),
+    "Task Queue": (0.008, 0.08),
+    "Context Mem": (4.98, 265.0),
+    "Cache": (19.29, 4698.2),
+    "Context Manager": (0.36, 18.9),
+    "Dispatcher": (0.53, 17.4),
+    "Search Engines": (3.12, 67.1),
+    "Crossbar": (0.05, 0.3),
+}
+
+#: Fraction of cache power that is leakage (the paper notes dynamic and
+#: leakage are approximately equal for the multi-banked design).
+_CACHE_LEAKAGE_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area/power of one hardware component at a given configuration."""
+
+    name: str
+    count: int
+    area_mm2: float
+    power_mw: float
+
+    def row(self) -> List[str]:
+        area = "< 0.001" if self.area_mm2 < 0.001 else f"{self.area_mm2:.2f}"
+        power = "< 0.1" if self.power_mw < 0.1 else f"{self.power_mw:.1f}"
+        return [f"{self.name} ({self.count}x)", area, power]
+
+
+class AreaPowerModel:
+    """Component-level area/power estimates for a :class:`MintConfig`."""
+
+    def __init__(self, technology_nm: float = 28.0) -> None:
+        if technology_nm <= 0:
+            raise ValueError("technology_nm must be positive")
+        # First-order shrink: area scales quadratically with feature size,
+        # power roughly linearly at iso-frequency.
+        self._area_scale = (technology_nm / 28.0) ** 2
+        self._power_scale = technology_nm / 28.0
+
+    def breakdown(self, config: MintConfig) -> List[ComponentCost]:
+        """Per-component costs (the rows of Fig. 14's table)."""
+        pes = config.num_pes
+        cache_kb = config.cache.num_banks * config.cache.bank_kb
+        banks = config.cache.num_banks
+        pe_ratio = pes / _REF_PES
+
+        rows: List[ComponentCost] = []
+
+        def add(name: str, count: int, area: float, power: float) -> None:
+            rows.append(
+                ComponentCost(
+                    name=name,
+                    count=count,
+                    area_mm2=area * self._area_scale,
+                    power_mw=power * self._power_scale,
+                )
+            )
+
+        a, p = _REF["Target Motif"]
+        add("Target Motif", 1, a, p)
+        a, p = _REF["Task Queue"]
+        add("Task Queue", 1, a, p)
+        a, p = _REF["Context Mem"]
+        add("Context Mem", pes, a * pe_ratio, p * pe_ratio)
+
+        # Cache: leakage area/power scale with capacity; the banked
+        # peripheral overhead and dynamic power scale with bank count.
+        a, p = _REF["Cache"]
+        cap_ratio = cache_kb / _REF_CACHE_KB
+        bank_ratio = banks / _REF_BANKS
+        cache_area = a * (0.85 * cap_ratio + 0.15 * bank_ratio)
+        cache_power = p * (
+            _CACHE_LEAKAGE_FRACTION * cap_ratio
+            + (1 - _CACHE_LEAKAGE_FRACTION) * bank_ratio
+        )
+        add(f"{config.cache.bank_kb} KB cache", banks, cache_area, cache_power)
+
+        a, p = _REF["Context Manager"]
+        add("Context Manager", pes, a * pe_ratio, p * pe_ratio)
+        a, p = _REF["Dispatcher"]
+        add("Dispatcher", pes, a * pe_ratio, p * pe_ratio)
+        a, p = _REF["Search Engines"]
+        add("Search Engines", pes, a * pe_ratio, p * pe_ratio)
+        a, p = _REF["Crossbar"]
+        add("Crossbar", 1, a * pe_ratio, p * pe_ratio)
+        return rows
+
+    def total_area_mm2(self, config: MintConfig) -> float:
+        return sum(c.area_mm2 for c in self.breakdown(config))
+
+    def total_power_w(self, config: MintConfig) -> float:
+        return sum(c.power_mw for c in self.breakdown(config)) / 1000.0

@@ -1,0 +1,91 @@
+"""Neighborhood-utilization instrumentation (paper Fig. 7, §VI-A).
+
+The insight behind search index memoization: because edges are mined in
+chronological order, the fraction of a node's neighbor-index list that a
+phase-1 filter keeps (``index > e_G``) shrinks as the algorithm
+progresses.  This module records that fraction per filter event for
+selected hot nodes, reproducing the decaying curves of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.motif import Motif
+
+
+@dataclass
+class UtilizationSeries:
+    """Per-node neighborhood-utilization trace over algorithm progress."""
+
+    node: int
+    direction: str
+    #: (event ordinal across the whole run, useful/total fraction).
+    points: List[Tuple[int, float]] = field(default_factory=list)
+
+    def fractions(self) -> List[float]:
+        return [f for _, f in self.points]
+
+    def mean_utilization(self) -> float:
+        fr = self.fractions()
+        return sum(fr) / len(fr) if fr else 0.0
+
+    def is_decreasing_trend(self) -> bool:
+        """True if the first third's mean exceeds the last third's mean."""
+        fr = self.fractions()
+        if len(fr) < 6:
+            return False
+        third = len(fr) // 3
+        return float(np.mean(fr[:third])) > float(np.mean(fr[-third:]))
+
+
+def hottest_nodes(graph: TemporalGraph, k: int = 2, direction: str = "out") -> List[int]:
+    """The ``k`` highest-degree nodes — the ones Fig. 7 samples."""
+    offsets = graph.out_offsets if direction == "out" else graph.in_offsets
+    degrees = np.diff(offsets)
+    order = np.argsort(degrees)[::-1]
+    return [int(n) for n in order[:k]]
+
+
+def neighborhood_utilization(
+    graph: TemporalGraph,
+    motif: Motif,
+    delta: int,
+    nodes: Optional[Sequence[int]] = None,
+    direction: str = "out",
+    max_points_per_node: int = 2000,
+) -> Dict[int, UtilizationSeries]:
+    """Mine with Mackey and record per-filter utilization for ``nodes``.
+
+    Returns one series per sampled node; the x-coordinate is the global
+    filter-event ordinal (a proxy for algorithm progress, as in Fig. 7).
+    """
+    if nodes is None:
+        nodes = hottest_nodes(graph, k=2, direction=direction)
+    watched = set(nodes)
+    series: Dict[int, UtilizationSeries] = {
+        n: UtilizationSeries(node=n, direction=direction) for n in nodes
+    }
+    clock = [0]
+
+    def probe(node: int, probe_dir: str, useful: int, total: int) -> None:
+        clock[0] += 1
+        if probe_dir != direction or node not in watched or total == 0:
+            return
+        series[node].points.append((clock[0], useful / total))
+
+    MackeyMiner(graph, motif, delta, utilization_probe=probe).mine()
+    # Downsample uniformly across the whole run so the series keeps its
+    # full start-to-end shape (Fig. 7's x-axis is algorithm progress).
+    for s in series.values():
+        if len(s.points) > max_points_per_node:
+            stride = len(s.points) / max_points_per_node
+            s.points = [
+                s.points[int(i * stride)] for i in range(max_points_per_node)
+            ]
+    return series

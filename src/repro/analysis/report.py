@@ -1,0 +1,141 @@
+"""Render a markdown reproduction report from a ``run_all`` archive.
+
+``run_all`` archives the headline numbers of every experiment as JSON;
+this module turns such an archive into a human-readable markdown report
+with the paper's reference values alongside — the same structure as the
+repository's EXPERIMENTS.md, regenerated from data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.analysis.reporting import format_markdown
+
+#: The paper's headline values, used as the reference column.
+PAPER_REFERENCE = {
+    "fig10": {
+        "speedup_no_memo": 91.6,
+        "speedup_memo": 363.1,
+        "memo_gain": 4.0,
+        "traffic_reduction": 2.8,
+    },
+    "fig11": {
+        "vs Mackey CPU": 363.1,
+        "vs Mackey CPU w/ memo": 305.9,
+        "vs Paranjape": 2575.9,
+        "vs PRESTO": 16.2,
+        "vs Mackey GPU": 9.2,
+    },
+    "fig14": {"total_area_mm2": 28.3, "total_power_w": 5.1},
+    "fig2": {"dram_stall": 0.725, "branch_stall": 0.227},
+}
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def render_report(metrics: Mapping[str, Any]) -> str:
+    """Render a markdown report from :func:`run_all` metrics."""
+    parts: List[str] = ["# Reproduction report\n"]
+
+    if "fig2" in metrics:
+        stack = metrics["fig2"]["cpi_stack"]
+        rows = [
+            ["dram-stall", f"{PAPER_REFERENCE['fig2']['dram_stall']:.1%}",
+             f"{stack.get('dram-stall', 0):.1%}"],
+            ["branch-stall", f"{PAPER_REFERENCE['fig2']['branch_stall']:.1%}",
+             f"{stack.get('branch-stall', 0):.1%}"],
+        ]
+        best = metrics["fig2"].get("best_threads", {})
+        body = format_markdown(["component", "paper", "measured"], rows)
+        if best:
+            body += "\n\nBest thread counts per dataset: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(best.items())
+            )
+        parts.append(_section("Fig. 2 — CPU CPI stack", body))
+
+    if "fig10" in metrics:
+        f = metrics["fig10"]
+        ref = PAPER_REFERENCE["fig10"]
+        rows = [
+            ["Mint w/o memo vs CPU", f"{ref['speedup_no_memo']}x",
+             f"{f['geomean_speedup_no_memo']:.1f}x"],
+            ["Mint w/ memo vs CPU", f"{ref['speedup_memo']}x",
+             f"{f['geomean_speedup_memo']:.1f}x"],
+            ["memoization gain", f"{ref['memo_gain']}x",
+             f"{f['geomean_memo_gain']:.2f}x"],
+            ["traffic reduction", f"{ref['traffic_reduction']}x",
+             f"{f['geomean_traffic_reduction']:.2f}x"],
+        ]
+        parts.append(
+            _section(
+                "Fig. 10 — search index memoization (geomeans)",
+                format_markdown(["quantity", "paper", "measured"], rows),
+            )
+        )
+
+    if "fig11" in metrics:
+        g = metrics["fig11"]["geomeans"]
+        ref = PAPER_REFERENCE["fig11"]
+        rows = [
+            [name, f"{ref.get(name, float('nan')):.1f}x", f"{value:.1f}x"]
+            for name, value in sorted(g.items())
+        ]
+        parts.append(
+            _section(
+                "Fig. 11 — Mint vs software baselines (geomeans)",
+                format_markdown(["baseline", "paper", "measured"], rows),
+            )
+        )
+
+    if "fig12" in metrics:
+        rows = [
+            [
+                motif,
+                f"{vals['mint_speedup']:.1f}x",
+                f"{vals['flexminer_speedup']:.1f}x",
+                f"{vals['static_to_temporal_ratio']:.3g}",
+            ]
+            for motif, vals in sorted(metrics["fig12"].items())
+        ]
+        parts.append(
+            _section(
+                "Fig. 12 — vs static mining accelerator",
+                format_markdown(
+                    ["motif", "Mint vs CPU", "FlexMiner pipeline vs CPU",
+                     "static/temporal"],
+                    rows,
+                ),
+            )
+        )
+
+    if "fig13" in metrics:
+        rows = [
+            [key, f"{v['speedup']:.1f}x", f"{v['bandwidth_pct']:.1f}%",
+             f"{v['hit_rate_pct']:.1f}%"]
+            for key, v in sorted(metrics["fig13"].items())
+        ]
+        parts.append(
+            _section(
+                "Fig. 13 — sensitivity grid",
+                format_markdown(["config", "speedup", "bandwidth", "hit rate"], rows),
+            )
+        )
+
+    if "fig14" in metrics:
+        f = metrics["fig14"]
+        ref = PAPER_REFERENCE["fig14"]
+        rows = [
+            ["area (mm2)", ref["total_area_mm2"], f"{f['total_area_mm2']:.1f}"],
+            ["power (W)", ref["total_power_w"], f"{f['total_power_w']:.2f}"],
+        ]
+        parts.append(
+            _section(
+                "Fig. 14 — area & power",
+                format_markdown(["quantity", "paper", "measured"], rows),
+            )
+        )
+
+    return "\n".join(parts)

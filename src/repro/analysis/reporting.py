@@ -1,0 +1,63 @@
+"""Plain-text / markdown table rendering and small numeric helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports all average speedups this way."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _stringify(rows: Sequence[Sequence]) -> List[List[str]]:
+    out: List[List[str]] = []
+    for row in rows:
+        out.append([x if isinstance(x, str) else _fmt(x) for x in row])
+    return out
+
+
+def _fmt(x) -> str:
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return f"{x:,}"
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.2f}"
+    return str(x)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned fixed-width text table."""
+    srows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in srows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    srows = _stringify(rows)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in srows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

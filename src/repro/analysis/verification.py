@@ -1,0 +1,102 @@
+"""Cross-implementation verification harness.
+
+One call that runs every implementation in the library — the brute-force
+oracle, Mackey (plain and memoized), the task-centric engine, Paranjape,
+the parallel miner, the specialized cycle miner (when the motif is a
+cycle) and the Mint simulator — on the same problem and checks they
+all agree.  Used by examples and available to downstream users as a
+sanity gate when they modify the library or bring their own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.bruteforce import brute_force_count
+from repro.mining.cycles import count_temporal_cycles
+from repro.mining.mackey import MackeyMiner
+from repro.mining.paranjape import ParanjapeMiner
+from repro.mining.parallel import count_motifs_parallel
+from repro.mining.taskcentric import TaskCentricMiner
+from repro.motifs.motif import Motif
+from repro.sim.accelerator import MintSimulator
+from repro.sim.config import CacheConfig, MintConfig
+
+
+def _is_simple_cycle(motif: Motif) -> bool:
+    """True if the motif is the canonical k-cycle 0->1->...->0."""
+    k = motif.num_edges
+    if motif.num_nodes != k or k < 2:
+        return False
+    expected = tuple((i, (i + 1) % k) for i in range(k))
+    return motif.edges == expected
+
+
+@dataclass
+class VerificationReport:
+    """Counts per implementation plus the agreement verdict."""
+
+    counts: Dict[str, int]
+    #: The reference implementation every other one is compared against.
+    reference: str = "mackey"
+
+    @property
+    def agreed(self) -> bool:
+        ref = self.counts[self.reference]
+        return all(v == ref for v in self.counts.values())
+
+    def disagreements(self) -> Dict[str, int]:
+        ref = self.counts[self.reference]
+        return {k: v for k, v in self.counts.items() if v != ref}
+
+    def __str__(self) -> str:
+        verdict = "AGREED" if self.agreed else "DISAGREED"
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"[{verdict}] {parts}"
+
+
+def verify_all_miners(
+    graph: TemporalGraph,
+    motif: Motif,
+    delta: int,
+    include_bruteforce: Optional[bool] = None,
+    include_simulator: bool = True,
+    simulator_config: Optional[MintConfig] = None,
+) -> VerificationReport:
+    """Run every applicable implementation and compare counts.
+
+    ``include_bruteforce`` defaults to running the oracle only on small
+    inputs (its cost is exponential); pass True/False to force it.
+    """
+    counts: Dict[str, int] = {}
+    counts["mackey"] = MackeyMiner(graph, motif, delta).mine().count
+    counts["mackey_memoized"] = (
+        MackeyMiner(graph, motif, delta, memoize=True).mine().count
+    )
+    counts["task_centric"] = TaskCentricMiner(graph, motif, delta).mine().count
+    counts["paranjape"] = ParanjapeMiner(graph, motif, delta).count()
+    counts["parallel"] = count_motifs_parallel(
+        graph, motif, delta, num_workers=0
+    ).count
+
+    if _is_simple_cycle(motif):
+        counts["cycle_specialized"] = count_temporal_cycles(
+            graph, motif.num_edges, delta
+        )
+
+    if include_bruteforce is None:
+        include_bruteforce = graph.num_edges <= 300
+    if include_bruteforce:
+        counts["bruteforce_oracle"] = brute_force_count(graph, motif, delta)
+
+    if include_simulator:
+        config = simulator_config or MintConfig(
+            num_pes=32, cache=CacheConfig(num_banks=16, bank_kb=2)
+        )
+        counts["mint_simulator"] = MintSimulator(
+            graph, motif, delta, config
+        ).run().matches
+
+    return VerificationReport(counts=counts)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+- ``generate`` — synthesize a named dataset and write it as SNAP text.
+- ``mine`` — exactly count a motif in a SNAP-format graph.
+- ``census`` — count the full 36-motif Paranjape grid.
+- ``simulate`` — run the Mint accelerator simulator on a workload.
+- ``experiment`` — regenerate one of the paper's tables/figures.
+- ``info`` — dataset statistics (Table I style) for a graph file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments as experiments_mod
+from repro.analysis.reporting import format_table
+from repro.graph.generators import DATASET_NAMES, make_dataset
+from repro.graph.loaders import load_snap_text, save_snap_text
+from repro.graph.stats import compute_stats
+from repro.mining.mackey import MackeyMiner
+from repro.mining.multi import grid_census, render_grid
+from repro.motifs.catalog import motif_by_name
+from repro.sim.accelerator import MintSimulator
+from repro.sim.config import MintConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mint (MICRO 2022) reproduction: temporal motif mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a named dataset")
+    gen.add_argument("dataset", choices=DATASET_NAMES)
+    gen.add_argument("output", help="output SNAP text path (.txt or .txt.gz)")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    mine = sub.add_parser("mine", help="exactly count a motif in a graph")
+    mine.add_argument("graph", help="SNAP text file (src dst t per line)")
+    mine.add_argument("--motif", default="M1", help="catalog motif name")
+    mine.add_argument(
+        "--motif-spec",
+        default=None,
+        help="inline motif DSL, e.g. 'A->B, B->C, C->A' (overrides --motif)",
+    )
+    mine.add_argument("--delta", type=int, required=True, help="window (s)")
+    mine.add_argument("--memoize", action="store_true")
+    mine.add_argument("--show-matches", type=int, default=0, metavar="N")
+
+    census = sub.add_parser("census", help="count the 36-motif grid")
+    census.add_argument("graph")
+    census.add_argument("--delta", type=int, required=True)
+
+    simulate = sub.add_parser("simulate", help="run the Mint simulator")
+    simulate.add_argument("graph")
+    simulate.add_argument("--motif", default="M1")
+    simulate.add_argument("--delta", type=int, required=True)
+    simulate.add_argument("--pes", type=int, default=512)
+    simulate.add_argument("--cache-kb", type=int, default=4096)
+    simulate.add_argument("--no-memoize", action="store_true")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "table1",
+            "table2",
+            "fig2",
+            "fig7",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "all",
+        ],
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--out", default=None, help="archive metrics JSON here (with 'all')"
+    )
+    experiment.add_argument(
+        "--report", default=None, help="write a markdown report here (with 'all')"
+    )
+
+    info = sub.add_parser("info", help="dataset statistics for a graph file")
+    info.add_argument("graph")
+
+    return parser
+
+
+def _load(path: str):
+    return load_snap_text(path)
+
+
+def cmd_generate(args) -> int:
+    graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_snap_text(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def cmd_mine(args) -> int:
+    graph = _load(args.graph)
+    if getattr(args, "motif_spec", None):
+        from repro.motifs.parse import parse_motif
+
+        motif = parse_motif(args.motif_spec, name="custom")
+    else:
+        motif = motif_by_name(args.motif)
+    miner = MackeyMiner(
+        graph,
+        motif,
+        args.delta,
+        memoize=args.memoize,
+        record_matches=args.show_matches > 0,
+        max_matches=None,
+    )
+    result = miner.mine()
+    print(f"{motif.name} count (delta={args.delta}s): {result.count}")
+    c = result.counters
+    print(
+        f"  candidates examined: {c.candidates_scanned:,}  "
+        f"searches: {c.searches:,}  bookkeeps: {c.bookkeeps:,}"
+    )
+    for match in (result.matches or [])[: args.show_matches]:
+        edges = [graph.edge(i) for i in match.edge_indices]
+        print("  match:", " -> ".join(f"{e.src}->{e.dst}@{e.t}" for e in edges))
+    return 0
+
+
+def cmd_census(args) -> int:
+    graph = _load(args.graph)
+    census = grid_census(graph, args.delta)
+    print(render_grid(census))
+    print(f"total: {sum(census.values()):,}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    graph = _load(args.graph)
+    motif = motif_by_name(args.motif)
+    config = MintConfig(num_pes=args.pes, memoize=not args.no_memoize)
+    config = config.with_cache_mb(args.cache_kb / 1024)
+    report = MintSimulator(graph, motif, args.delta, config).run()
+    rows = [[k, f"{v:,.4g}"] for k, v in report.summary().items()]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    policy = experiments_mod.DEFAULT_POLICY
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        import dataclasses
+
+        policy = dataclasses.replace(policy, **overrides)
+    if args.name == "all":
+        import json
+
+        metrics = experiments_mod.run_all(policy, out_path=args.out)
+        if args.report:
+            from pathlib import Path
+
+            from repro.analysis.report import render_report
+
+            Path(args.report).write_text(render_report(metrics))
+            print(f"report written to {args.report}")
+        else:
+            print(json.dumps(metrics, indent=2, sort_keys=True))
+        if args.out:
+            print(f"archived to {args.out}")
+        return 0
+    runners = {
+        "table1": lambda: experiments_mod.run_table1(policy).table(),
+        "table2": lambda: experiments_mod.run_table2(),
+        "fig2": lambda: experiments_mod.run_fig2(policy).table(),
+        "fig7": lambda: experiments_mod.run_fig7(policy).table(),
+        "fig10": lambda: experiments_mod.run_fig10(policy).table(),
+        "fig11": lambda: experiments_mod.run_fig11(policy).table(),
+        "fig12": lambda: experiments_mod.run_fig12(policy).table(),
+        "fig13": lambda: experiments_mod.run_fig13(policy).table(),
+        "fig14": lambda: experiments_mod.run_fig14(),
+    }
+    print(runners[args.name]())
+    return 0
+
+
+def cmd_info(args) -> int:
+    graph = _load(args.graph)
+    st = compute_stats(graph, name=args.graph)
+    rows = [
+        ["vertices", f"{st.num_nodes:,}"],
+        ["temporal edges", f"{st.num_edges:,}"],
+        ["size (MB)", f"{st.size_mb:.2f}"],
+        ["time span (days)", f"{st.time_span_days:.1f}"],
+        ["max out-degree", f"{st.max_out_degree:,}"],
+        ["max in-degree", f"{st.max_in_degree:,}"],
+        ["mean out-degree", f"{st.mean_out_degree:.2f}"],
+    ]
+    print(format_table(["stat", "value"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "mine": cmd_mine,
+    "census": cmd_census,
+    "simulate": cmd_simulate,
+    "experiment": cmd_experiment,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Temporal graph substrate: data structures, loaders, generators, stats."""
+
+from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
+from repro.graph.loaders import load_snap_text, save_snap_text
+from repro.graph.generators import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    make_dataset,
+    synthesize,
+)
+from repro.graph.stats import GraphStats, compute_stats, dataset_table
+from repro.graph.io_binary import load_binary, save_binary
+from repro.graph.transforms import (
+    compact_node_ids,
+    degree_filtered,
+    filter_time_range,
+    induced_subgraph,
+    merge,
+    temporal_split,
+)
+
+__all__ = [
+    "TemporalEdge",
+    "TemporalGraph",
+    "load_snap_text",
+    "save_snap_text",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_spec",
+    "make_dataset",
+    "synthesize",
+    "GraphStats",
+    "compute_stats",
+    "dataset_table",
+    "load_binary",
+    "save_binary",
+    "compact_node_ids",
+    "degree_filtered",
+    "filter_time_range",
+    "induced_subgraph",
+    "merge",
+    "temporal_split",
+]

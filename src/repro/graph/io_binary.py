@@ -1,0 +1,102 @@
+"""Binary (NumPy ``.npz``) persistence for temporal graphs.
+
+The SNAP text format (:mod:`repro.graph.loaders`) is interchange-friendly
+but slow and large; this module stores the already-built arrays — edge
+endpoints, timestamps, and both CSR structures — so reloading skips both
+parsing and CSR reconstruction.  A format version and a light checksum
+guard against silently loading incompatible or corrupted files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+_MAGIC = "mint-repro-temporal-graph"
+
+
+class BinaryFormatError(ValueError):
+    """Raised when a file is not a valid binary temporal graph."""
+
+
+def save_binary(graph: TemporalGraph, path: PathLike) -> None:
+    """Write ``graph`` (including CSR structures) as a compressed npz."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC),
+        version=np.array(FORMAT_VERSION),
+        num_nodes=np.array(graph.num_nodes),
+        src=graph.src,
+        dst=graph.dst,
+        ts=graph.ts,
+        out_offsets=graph.out_offsets,
+        out_edge_idx=graph.out_edge_idx,
+        in_offsets=graph.in_offsets,
+        in_edge_idx=graph.in_edge_idx,
+        checksum=np.array(_checksum(graph)),
+    )
+
+
+def load_binary(path: PathLike) -> TemporalGraph:
+    """Load a graph written by :func:`save_binary`.
+
+    The arrays are verified (magic, version, checksum, CSR consistency)
+    and installed directly, skipping re-sorting and CSR construction.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise BinaryFormatError(f"{path} is not a mint-repro graph file")
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise BinaryFormatError(
+                f"{path}: format version {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        graph = TemporalGraph.__new__(TemporalGraph)
+        graph.src = data["src"].astype(np.int64)
+        graph.dst = data["dst"].astype(np.int64)
+        graph.ts = data["ts"].astype(np.int64)
+        graph._num_nodes = int(data["num_nodes"])
+        graph.out_offsets = data["out_offsets"].astype(np.int64)
+        graph.out_edge_idx = data["out_edge_idx"].astype(np.int64)
+        graph.in_offsets = data["in_offsets"].astype(np.int64)
+        graph.in_edge_idx = data["in_edge_idx"].astype(np.int64)
+        stored = int(data["checksum"])
+    if _checksum(graph) != stored:
+        raise BinaryFormatError(f"{path}: checksum mismatch (corrupted file?)")
+    _validate(graph)
+    return graph
+
+
+def _checksum(graph: TemporalGraph) -> int:
+    """A cheap order-sensitive checksum over the edge arrays."""
+    if graph.num_edges == 0:
+        return graph.num_nodes
+    idx = np.arange(1, graph.num_edges + 1, dtype=np.int64)
+    mix = (graph.src * 31 + graph.dst * 17 + graph.ts) * idx
+    return int(mix.sum() % (2**61 - 1)) ^ graph.num_nodes
+
+
+def _validate(graph: TemporalGraph) -> None:
+    m, n = graph.num_edges, graph.num_nodes
+    if len(graph.dst) != m or len(graph.ts) != m:
+        raise BinaryFormatError("edge array lengths disagree")
+    if m > 1 and not np.all(np.diff(graph.ts) > 0):
+        raise BinaryFormatError("timestamps are not strictly increasing")
+    for offsets, idx in (
+        (graph.out_offsets, graph.out_edge_idx),
+        (graph.in_offsets, graph.in_edge_idx),
+    ):
+        if len(offsets) != n + 1 or offsets[0] != 0 or offsets[-1] != m:
+            raise BinaryFormatError("CSR offsets malformed")
+        if len(idx) != m:
+            raise BinaryFormatError("CSR index array malformed")

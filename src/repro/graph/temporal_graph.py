@@ -1,0 +1,224 @@
+"""Temporal graph data structures (paper §II-A, §II-D).
+
+The paper's algorithm operates on two structures:
+
+1. A *temporal edge list*: an array of ``(src, dst, timestamp)`` tuples
+   sorted by timestamp.  Timestamps are assumed unique (paper footnote 1);
+   ties are broken deterministically at construction time so that the
+   strict ordering ``t_1 < t_2 < ...`` required by the mining semantics
+   always holds.
+2. A *compressed adjacency* (CSR-like) structure that, for every node,
+   stores the **indices into the temporal edge list** of its outgoing and
+   incoming edges, in increasing index (= chronological) order.  Storing
+   indices rather than neighbor IDs is the key layout difference from
+   static graph processing that the paper highlights (§III-C, Fig. 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TemporalEdge:
+    """A directed timestamped edge ``src -> dst`` at time ``t``."""
+
+    src: int
+    dst: int
+    t: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.src, self.dst, self.t)
+
+
+class TemporalGraph:
+    """An immutable temporal graph backed by numpy arrays.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(src, dst, t)`` tuples or :class:`TemporalEdge`.
+        Node IDs must be non-negative integers.  The edge list is sorted
+        by timestamp at construction; duplicate timestamps are resolved
+        by nudging later duplicates forward by the minimal amount that
+        keeps the order of equal-timestamp edges stable (the paper
+        assumes unique timestamps without loss of generality).
+    num_nodes:
+        Optional explicit node count; defaults to ``max node id + 1``.
+
+    Notes
+    -----
+    The class exposes both a convenient object API (:meth:`edge`,
+    :meth:`out_edges`, ...) and the raw numpy arrays (``src``, ``dst``,
+    ``ts``, ``out_offsets``, ``out_edge_idx``, ``in_offsets``,
+    ``in_edge_idx``) used by the miners and by the accelerator
+    simulator's memory-layout model.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[int, int, int]],
+        num_nodes: int | None = None,
+    ) -> None:
+        rows: List[Tuple[int, int, int]] = []
+        for e in edges:
+            if isinstance(e, TemporalEdge):
+                rows.append(e.as_tuple())
+            else:
+                s, d, t = e
+                rows.append((int(s), int(d), int(t)))
+        if any(s < 0 or d < 0 for s, d, _ in rows):
+            raise ValueError("node ids must be non-negative")
+
+        # Stable sort by timestamp, then make timestamps strictly unique.
+        rows.sort(key=lambda r: r[2])
+        ts = self._uniquify_timestamps([r[2] for r in rows])
+
+        m = len(rows)
+        self.src = np.fromiter((r[0] for r in rows), dtype=np.int64, count=m)
+        self.dst = np.fromiter((r[1] for r in rows), dtype=np.int64, count=m)
+        self.ts = np.asarray(ts, dtype=np.int64)
+
+        inferred = int(max(self.src.max(), self.dst.max())) + 1 if m else 0
+        if num_nodes is None:
+            num_nodes = inferred
+        elif num_nodes < inferred:
+            raise ValueError(
+                f"num_nodes={num_nodes} smaller than max node id + 1 ({inferred})"
+            )
+        self._num_nodes = int(num_nodes)
+
+        self.out_offsets, self.out_edge_idx = self._build_csr(self.src)
+        self.in_offsets, self.in_edge_idx = self._build_csr(self.dst)
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _uniquify_timestamps(ts: Sequence[int]) -> List[int]:
+        """Nudge duplicate timestamps so the sequence is strictly increasing.
+
+        Edges arrive sorted; each duplicate is shifted to ``prev + 1``.
+        This mirrors the paper's without-loss-of-generality uniqueness
+        assumption while preserving relative order.
+        """
+        out: List[int] = []
+        prev: int | None = None
+        for t in ts:
+            if prev is not None and t <= prev:
+                t = prev + 1
+            out.append(t)
+            prev = t
+        return out
+
+    def _build_csr(self, endpoint: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Build per-node lists of edge indices for one endpoint array.
+
+        Because the global edge list is time-sorted, a counting-sort by
+        endpoint yields per-node index lists already in chronological
+        order — exactly the layout the paper's phase-1 search streams.
+        """
+        n = self._num_nodes
+        counts = np.bincount(endpoint, minlength=n) if len(endpoint) else np.zeros(n, dtype=np.int64)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        idx = np.empty(len(endpoint), dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        for i, node in enumerate(endpoint):
+            idx[cursor[node]] = i
+            cursor[node] += 1
+        return offsets, idx
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def edge(self, i: int) -> TemporalEdge:
+        """Return edge ``i`` of the time-sorted temporal edge list."""
+        return TemporalEdge(int(self.src[i]), int(self.dst[i]), int(self.ts[i]))
+
+    def edges(self) -> Iterator[TemporalEdge]:
+        for i in range(self.num_edges):
+            yield self.edge(i)
+
+    def time(self, i: int) -> int:
+        return int(self.ts[i])
+
+    @property
+    def time_span(self) -> int:
+        """Difference between the last and first timestamps (0 if empty)."""
+        if self.num_edges == 0:
+            return 0
+        return int(self.ts[-1] - self.ts[0])
+
+    # -- adjacency --------------------------------------------------------------
+
+    def out_edges(self, u: int) -> np.ndarray:
+        """Edge indices of ``u``'s outgoing edges, chronologically sorted."""
+        return self.out_edge_idx[self.out_offsets[u] : self.out_offsets[u + 1]]
+
+    def in_edges(self, v: int) -> np.ndarray:
+        """Edge indices of ``v``'s incoming edges, chronologically sorted."""
+        return self.in_edge_idx[self.in_offsets[v] : self.in_offsets[v + 1]]
+
+    def out_degree(self, u: int) -> int:
+        return int(self.out_offsets[u + 1] - self.out_offsets[u])
+
+    def in_degree(self, v: int) -> int:
+        return int(self.in_offsets[v + 1] - self.in_offsets[v])
+
+    def first_out_after(self, u: int, edge_index: int) -> int:
+        """Position within ``out_edges(u)`` of the first edge index ``> edge_index``.
+
+        This is the binary search the software baseline performs at the
+        start of every phase-1 filter (Algorithm 1 lines 31/33; §VI-A
+        notes software uses binary search where Mint's hardware streams
+        linearly).
+        """
+        lo, hi = int(self.out_offsets[u]), int(self.out_offsets[u + 1])
+        pos = bisect.bisect_right(self.out_edge_idx, edge_index, lo, hi)
+        return pos - lo
+
+    def first_in_after(self, v: int, edge_index: int) -> int:
+        """Position within ``in_edges(v)`` of the first edge index ``> edge_index``."""
+        lo, hi = int(self.in_offsets[v]), int(self.in_offsets[v + 1])
+        pos = bisect.bisect_right(self.in_edge_idx, edge_index, lo, hi)
+        return pos - lo
+
+    # -- projections -------------------------------------------------------------
+
+    def static_projection(self) -> Set[Tuple[int, int]]:
+        """Distinct directed node pairs, discarding time (used by Paranjape)."""
+        return set(zip(self.src.tolist(), self.dst.tolist()))
+
+    def subgraph_by_time(self, t_lo: int, t_hi: int) -> "TemporalGraph":
+        """Edges with ``t_lo <= t < t_hi`` (used by PRESTO window sampling).
+
+        Node IDs are preserved so counts remain comparable.
+        """
+        lo = int(np.searchsorted(self.ts, t_lo, side="left"))
+        hi = int(np.searchsorted(self.ts, t_hi, side="left"))
+        rows = zip(
+            self.src[lo:hi].tolist(), self.dst[lo:hi].tolist(), self.ts[lo:hi].tolist()
+        )
+        return TemporalGraph(rows, num_nodes=self._num_nodes)
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges}, time_span={self.time_span})"
+        )

@@ -1,0 +1,95 @@
+"""Temporal graph transforms: filtering, relabeling, splitting, merging.
+
+Utility operations a downstream user needs around the mining core:
+restricting to time ranges or node subsets, compacting node IDs,
+temporal train/test splits (for the temporal-graph-learning use cases
+the paper cites, §II-B), and merging event streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def filter_time_range(graph: TemporalGraph, t_lo: int, t_hi: int) -> TemporalGraph:
+    """Edges with ``t_lo <= t < t_hi`` (node IDs preserved)."""
+    return graph.subgraph_by_time(t_lo, t_hi)
+
+
+def induced_subgraph(graph: TemporalGraph, nodes: Iterable[int]) -> TemporalGraph:
+    """Edges whose both endpoints are in ``nodes`` (node IDs preserved)."""
+    keep: Set[int] = set(int(n) for n in nodes)
+    rows = [
+        (int(s), int(d), int(t))
+        for s, d, t in zip(graph.src, graph.dst, graph.ts)
+        if int(s) in keep and int(d) in keep
+    ]
+    return TemporalGraph(rows, num_nodes=graph.num_nodes)
+
+
+def compact_node_ids(graph: TemporalGraph) -> Tuple[TemporalGraph, Dict[int, int]]:
+    """Relabel nodes to a dense 0..n-1 range (only nodes with edges).
+
+    Returns the relabeled graph and the old->new mapping.
+    """
+    mapping: Dict[int, int] = {}
+    rows: List[Tuple[int, int, int]] = []
+    for s, d, t in zip(graph.src, graph.dst, graph.ts):
+        for node in (int(s), int(d)):
+            if node not in mapping:
+                mapping[node] = len(mapping)
+        rows.append((mapping[int(s)], mapping[int(d)], int(t)))
+    return TemporalGraph(rows, num_nodes=max(1, len(mapping))), mapping
+
+
+def temporal_split(
+    graph: TemporalGraph, train_fraction: float
+) -> Tuple[TemporalGraph, TemporalGraph]:
+    """Chronological train/test split at a quantile of the edge stream.
+
+    The first ``train_fraction`` of edges (by time) form the train graph;
+    the rest form the test graph.  Node IDs are preserved so embeddings /
+    counts remain comparable.
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(round(graph.num_edges * train_fraction))
+    rows = list(zip(graph.src.tolist(), graph.dst.tolist(), graph.ts.tolist()))
+    train = TemporalGraph(rows[:cut], num_nodes=graph.num_nodes)
+    test = TemporalGraph(rows[cut:], num_nodes=graph.num_nodes)
+    return train, test
+
+
+def merge(graphs: Sequence[TemporalGraph]) -> TemporalGraph:
+    """Union of several event streams over a shared node ID space."""
+    rows: List[Tuple[int, int, int]] = []
+    num_nodes = 0
+    for g in graphs:
+        num_nodes = max(num_nodes, g.num_nodes)
+        rows.extend(zip(g.src.tolist(), g.dst.tolist(), g.ts.tolist()))
+    return TemporalGraph(rows, num_nodes=num_nodes)
+
+
+def degree_filtered(
+    graph: TemporalGraph, max_out_degree: int
+) -> TemporalGraph:
+    """Drop edges whose source exceeds ``max_out_degree`` (hub capping).
+
+    A standard preprocessing knob for mining scalability experiments: the
+    paper's hardest workloads are hard precisely because of hub
+    neighborhoods.
+    """
+    if max_out_degree < 0:
+        raise ValueError("max_out_degree must be non-negative")
+    out_deg = np.diff(graph.out_offsets)
+    keep_src = {u for u in range(graph.num_nodes) if out_deg[u] <= max_out_degree}
+    rows = [
+        (int(s), int(d), int(t))
+        for s, d, t in zip(graph.src, graph.dst, graph.ts)
+        if int(s) in keep_src
+    ]
+    return TemporalGraph(rows, num_nodes=graph.num_nodes)

@@ -1,0 +1,53 @@
+"""Software temporal motif mining algorithms.
+
+- :mod:`repro.mining.mackey` — the Mackey et al. exact chronological
+  edge-driven DFS miner (paper Algorithm 1), with optional search index
+  memoization (§VI-A) for the "CPU w/ memoization" baseline.
+- :mod:`repro.mining.bruteforce` — an exhaustive oracle used as ground
+  truth in tests.
+- :mod:`repro.mining.taskcentric` — the paper's task-centric programming
+  model (§IV): explicit search / book-keeping / backtrack tasks driven
+  through a task queue over per-tree task contexts.
+- :mod:`repro.mining.static_mining` — static subgraph enumeration
+  substrate used by the Paranjape baseline and the FlexMiner model.
+- :mod:`repro.mining.paranjape` — static-first exact baseline.
+- :mod:`repro.mining.presto` — PRESTO-style uniform window sampling
+  approximate counting.
+"""
+
+from repro.mining.results import Match, MiningResult, SearchCounters
+from repro.mining.context import MiningContext
+from repro.mining.bruteforce import brute_force_count, brute_force_matches
+from repro.mining.mackey import MackeyMiner, count_motifs
+from repro.mining.taskcentric import TaskCentricMiner, TaskType
+from repro.mining.static_mining import StaticPatternMiner
+from repro.mining.paranjape import ParanjapeMiner
+from repro.mining.presto import PrestoEstimator
+from repro.mining.cycles import TemporalCycleMiner, count_temporal_cycles
+from repro.mining.parallel import count_motifs_parallel
+from repro.mining.multi import MotifCensus, count_motif_family, grid_census
+from repro.mining.features import motif_feature_matrix, node_motif_counts
+
+__all__ = [
+    "Match",
+    "MiningResult",
+    "SearchCounters",
+    "MiningContext",
+    "brute_force_count",
+    "brute_force_matches",
+    "MackeyMiner",
+    "count_motifs",
+    "TaskCentricMiner",
+    "TaskType",
+    "StaticPatternMiner",
+    "ParanjapeMiner",
+    "PrestoEstimator",
+    "TemporalCycleMiner",
+    "count_temporal_cycles",
+    "count_motifs_parallel",
+    "MotifCensus",
+    "count_motif_family",
+    "grid_census",
+    "motif_feature_matrix",
+    "node_motif_counts",
+]

@@ -1,0 +1,75 @@
+"""Exhaustive oracle for δ-temporal motif mining.
+
+This module implements the problem definition of §II-A *directly*: it
+enumerates every strictly time-increasing sequence of ``l`` graph edges
+within a δ window and checks whether an injective motif-node mapping is
+consistent with it.  It makes no use of adjacency structures or search
+ordering, so it is an independent ground truth for testing the optimized
+miners — intentionally simple, obviously correct, and slow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.results import Match
+from repro.motifs.motif import Motif
+
+
+def brute_force_matches(
+    graph: TemporalGraph, motif: Motif, delta: int
+) -> List[Match]:
+    """Enumerate all matches of ``motif`` in ``graph`` within ``delta``."""
+    matches: List[Match] = []
+    src, dst, ts = graph.src, graph.dst, graph.ts
+    m = graph.num_edges
+    l = motif.num_edges
+
+    def extend(level: int, start: int, t_limit: int, m2g: List[int], g2m: Dict[int, int], seq: List[int]) -> None:
+        if level == l:
+            matches.append(Match(tuple(seq), tuple(m2g)))
+            return
+        u_m, v_m = motif.edge(level)
+        for e in range(start, m):
+            t = int(ts[e])
+            if level > 0 and t > t_limit:
+                break
+            s, d = int(src[e]), int(dst[e])
+            u_g, v_g = m2g[u_m], m2g[v_m]
+            if u_g >= 0:
+                if s != u_g:
+                    continue
+            elif s in g2m:
+                continue
+            if v_g >= 0:
+                if d != v_g:
+                    continue
+            elif d in g2m:
+                continue
+            if u_g < 0 and v_g < 0 and s == d:
+                continue
+            new_nodes = []
+            if m2g[u_m] == -1:
+                m2g[u_m] = s
+                g2m[s] = u_m
+                new_nodes.append((u_m, s))
+            if m2g[v_m] == -1:
+                m2g[v_m] = d
+                g2m[d] = v_m
+                new_nodes.append((v_m, d))
+            seq.append(e)
+            next_limit = t + delta if level == 0 else t_limit
+            extend(level + 1, e + 1, next_limit, m2g, g2m, seq)
+            seq.pop()
+            for mn, gn in new_nodes:
+                m2g[mn] = -1
+                del g2m[gn]
+
+    extend(0, 0, 0, [-1] * motif.num_nodes, {}, [])
+    return matches
+
+
+def brute_force_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    """Count matches of ``motif`` in ``graph`` within ``delta`` (oracle)."""
+    return len(brute_force_matches(graph, motif, delta))

@@ -1,0 +1,116 @@
+"""Pattern-specific temporal cycle mining (the 2SCENT-class algorithm).
+
+The paper classifies exact miners into pattern-specific (e.g. 2SCENT,
+Kumar & Calders, which enumerates simple temporal cycles) and
+pattern-agnostic (Mackey et al., which Mint accelerates), noting that
+pattern-specific algorithms "achieve better efficiency by using
+computation catered to a specific temporal motif [but] their
+applicability is limited" (§II-C).
+
+This module implements the specialized counterpart for temporal cycles:
+a time-respecting DFS that starts at each root edge ``(a, b, t0)`` and
+follows strictly later edges through *fresh* intermediate nodes until it
+closes back at ``a`` with exactly ``length`` edges inside the δ window.
+It avoids all generic machinery (motif mapping tables, CAM semantics) —
+the per-step state is just the visited set and the frontier node — and
+is verified against the generic miner on cycle motifs (M1 is the 3-cycle,
+M3 the 4-cycle).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass
+class CycleCounters:
+    """Work counters for the specialized miner (for efficiency claims)."""
+
+    edges_examined: int = 0
+    dfs_steps: int = 0
+
+
+class TemporalCycleMiner:
+    """Count/enumerate simple temporal cycles of a fixed length.
+
+    A cycle instance is a strictly time-increasing edge sequence
+    ``a -> n1 -> n2 -> ... -> a`` of exactly ``length`` edges with all
+    intermediate nodes distinct (and distinct from ``a``), spanning at
+    most δ — identical semantics to mining the cycle motif with the
+    generic algorithm.
+    """
+
+    def __init__(self, graph: TemporalGraph, length: int, delta: int) -> None:
+        if length < 2:
+            raise ValueError("a temporal cycle needs at least 2 edges")
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.graph = graph
+        self.length = length
+        self.delta = int(delta)
+        self.counters = CycleCounters()
+        self._src = graph.src.tolist()
+        self._dst = graph.dst.tolist()
+        self._ts = graph.ts.tolist()
+        self._out = [graph.out_edges(u).tolist() for u in range(graph.num_nodes)]
+
+    def count(self) -> int:
+        return sum(1 for _ in self.enumerate())
+
+    def enumerate(self):
+        """Yield cycles as tuples of edge indices (chronological order)."""
+        src, dst, ts = self._src, self._dst, self._ts
+        for e0 in range(self.graph.num_edges):
+            a, b = src[e0], dst[e0]
+            if a == b:
+                continue
+            t_limit = ts[e0] + self.delta
+            yield from self._extend(
+                origin=a,
+                frontier=b,
+                last_edge=e0,
+                t_limit=t_limit,
+                visited=(a, b),
+                path=(e0,),
+            )
+
+    def _extend(
+        self,
+        origin: int,
+        frontier: int,
+        last_edge: int,
+        t_limit: int,
+        visited: Tuple[int, ...],
+        path: Tuple[int, ...],
+    ):
+        counters = self.counters
+        counters.dfs_steps += 1
+        remaining = self.length - len(path)
+        neigh = self._out[frontier]
+        dst, ts = self._dst, self._ts
+        start = bisect_right(neigh, last_edge)
+        closing = remaining == 1
+        for pos in range(start, len(neigh)):
+            e = neigh[pos]
+            counters.edges_examined += 1
+            if ts[e] > t_limit:
+                break
+            d = dst[e]
+            if closing:
+                if d == origin:
+                    yield path + (e,)
+            else:
+                if d == origin or d in visited:
+                    continue
+                yield from self._extend(
+                    origin, d, e, t_limit, visited + (d,), path + (e,)
+                )
+
+
+def count_temporal_cycles(graph: TemporalGraph, length: int, delta: int) -> int:
+    """Count simple temporal cycles of ``length`` edges within δ."""
+    return TemporalCycleMiner(graph, length, delta).count()

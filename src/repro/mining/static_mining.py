@@ -1,0 +1,138 @@
+"""Static subgraph enumeration substrate.
+
+The Paranjape et al. baseline (and the paper's FlexMiner comparison,
+§VII-D) first mines the *static* pattern of a motif — its distinct
+directed node pairs, ignoring time — on the static projection of the
+temporal graph, and only then resolves temporal constraints.  This module
+provides that first phase: enumeration of injective motif-node → graph-node
+mappings whose required directed edges all exist in the projection.
+
+It also exposes the instrumentation (embeddings enumerated, adjacency
+items touched, partial mappings explored) that the FlexMiner timing model
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.motifs.motif import Motif
+
+
+@dataclass
+class StaticCounters:
+    """Operation counts for one static enumeration run."""
+
+    embeddings: int = 0
+    partial_mappings: int = 0
+    adjacency_items_touched: int = 0
+    set_membership_checks: int = 0
+
+
+class StaticPatternMiner:
+    """Enumerate injective static embeddings of a motif's pattern.
+
+    The pattern edges are matched in motif order; each step extends the
+    partial node mapping using the projection's out/in adjacency, exactly
+    like a static pattern-aware miner (GraphPi/AutoMine-style exploration
+    without their symmetry-breaking, which our injective-mapping
+    semantics replaces: every distinct node mapping is one embedding).
+    """
+
+    def __init__(self, graph: TemporalGraph, motif: Motif) -> None:
+        self.graph = graph
+        self.motif = motif
+        self.counters = StaticCounters()
+        # Static projection adjacency (distinct pairs only).
+        out_adj: Dict[int, Set[int]] = {}
+        in_adj: Dict[int, Set[int]] = {}
+        for s, d in graph.static_projection():
+            out_adj.setdefault(s, set()).add(d)
+            in_adj.setdefault(d, set()).add(s)
+        self._out = out_adj
+        self._in = in_adj
+        # Deduplicated pattern edge sequence: repeated motif pairs (e.g.
+        # A→B appearing twice) impose one static constraint.
+        seen: Set[Tuple[int, int]] = set()
+        self._pattern: List[Tuple[int, int]] = []
+        for u, v in motif.edges:
+            if (u, v) not in seen:
+                seen.add((u, v))
+                self._pattern.append((u, v))
+
+    # -- enumeration -----------------------------------------------------------
+
+    def embeddings(self) -> Iterator[Tuple[int, ...]]:
+        """Yield every injective node mapping matching the static pattern.
+
+        Each yielded tuple maps motif node ``i`` to graph node
+        ``mapping[i]``.
+        """
+        m2g = [-1] * self.motif.num_nodes
+        used: Set[int] = set()
+        yield from self._extend(0, m2g, used)
+
+    def count(self) -> int:
+        """Count static embeddings (consumes the iterator)."""
+        return sum(1 for _ in self.embeddings())
+
+    def _extend(
+        self, level: int, m2g: List[int], used: Set[int]
+    ) -> Iterator[Tuple[int, ...]]:
+        c = self.counters
+        if level == len(self._pattern):
+            c.embeddings += 1
+            yield tuple(m2g)
+            return
+        c.partial_mappings += 1
+        u_m, v_m = self._pattern[level]
+        u_g, v_g = m2g[u_m], m2g[v_m]
+        if u_g >= 0 and v_g >= 0:
+            c.set_membership_checks += 1
+            if v_g in self._out.get(u_g, ()):  # existence check only
+                yield from self._extend(level + 1, m2g, used)
+        elif u_g >= 0:
+            neighbors = self._out.get(u_g, ())
+            c.adjacency_items_touched += len(neighbors)
+            for d in neighbors:
+                if d in used:
+                    continue
+                m2g[v_m] = d
+                used.add(d)
+                yield from self._extend(level + 1, m2g, used)
+                used.discard(d)
+                m2g[v_m] = -1
+        elif v_g >= 0:
+            neighbors = self._in.get(v_g, ())
+            c.adjacency_items_touched += len(neighbors)
+            for s in neighbors:
+                if s in used:
+                    continue
+                m2g[u_m] = s
+                used.add(s)
+                yield from self._extend(level + 1, m2g, used)
+                used.discard(s)
+                m2g[u_m] = -1
+        else:
+            # Neither endpoint mapped: iterate all projection edges.
+            for s, nbrs in self._out.items():
+                if s in used:
+                    continue
+                c.adjacency_items_touched += len(nbrs)
+                for d in nbrs:
+                    if d in used or d == s:
+                        continue
+                    m2g[u_m], m2g[v_m] = s, d
+                    used.add(s)
+                    used.add(d)
+                    yield from self._extend(level + 1, m2g, used)
+                    used.discard(d)
+                    used.discard(s)
+                    m2g[u_m] = m2g[v_m] = -1
+
+
+def count_static_embeddings(graph: TemporalGraph, motif: Motif) -> int:
+    """Count injective static embeddings of ``motif``'s pattern in ``graph``."""
+    return StaticPatternMiner(graph, motif).count()

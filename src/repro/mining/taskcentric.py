@@ -1,0 +1,249 @@
+"""Task-centric programming model for temporal motif mining (paper §IV).
+
+The paper decomposes Algorithm 1 into three task types — **search**,
+**book-keeping** and **backtrack** — connected by the parent/child
+relationships of Fig. 4(a):
+
+- a *root* book-keeping task maps the first motif edge to one graph edge
+  (root tasks are generated in chronological edge order);
+- book-keeping spawns a search for the next motif edge;
+- a successful search spawns book-keeping; a failed one spawns backtrack;
+- backtrack pops the context and spawns a search that resumes scanning
+  after the popped edge, or terminates the tree when the stack empties.
+
+Tasks communicate exclusively through a
+:class:`~repro.mining.context.MiningContext`; different search trees
+share nothing, which is what lets Mint run them asynchronously in
+parallel.  This software engine executes the exact same task graph the
+accelerator does — with a configurable number of round-robin workers so
+the decoupled execution is observable — and is checked against the
+Mackey miner for equal counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.context import MiningContext
+from repro.mining.results import Match, MiningResult, SearchCounters
+from repro.motifs.motif import Motif
+
+
+class TaskType(enum.Enum):
+    """The three fundamental task types of the programming model."""
+
+    SEARCH = "search"
+    BOOKKEEP = "bookkeep"
+    BACKTRACK = "backtrack"
+
+
+@dataclass
+class Task:
+    """One unit of computation, addressed to one task context (worker)."""
+
+    type: TaskType
+    worker: int
+    #: For BOOKKEEP: the graph edge to map.  For SEARCH: resume scanning
+    #: strictly after this edge index.  For BACKTRACK: unused.
+    edge: int = -1
+    #: True for the root book-keeping task that starts a search tree.
+    is_root: bool = False
+
+
+class _Worker:
+    """A task context plus scan state — the software analog of one Mint PE."""
+
+    __slots__ = ("context", "busy")
+
+    def __init__(self, motif: Motif, delta: int) -> None:
+        self.context = MiningContext(motif, delta)
+        self.busy = False
+
+
+class TaskCentricMiner:
+    """Exact miner organized as an explicit task queue (Fig. 5).
+
+    Parameters
+    ----------
+    num_workers:
+        Number of task contexts processed concurrently (round-robin).
+        Results are independent of this value — a property test enforces
+        it — because search trees share no state.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        motif: Motif,
+        delta: int,
+        num_workers: int = 4,
+        record_matches: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.graph = graph
+        self.motif = motif
+        self.delta = int(delta)
+        self.num_workers = num_workers
+        self.record_matches = record_matches
+        self._src: List[int] = graph.src.tolist()
+        self._dst: List[int] = graph.dst.tolist()
+        self._ts: List[int] = graph.ts.tolist()
+        self._out: List[List[int]] = [
+            graph.out_edges(u).tolist() for u in range(graph.num_nodes)
+        ]
+        self._in: List[List[int]] = [
+            graph.in_edges(v).tolist() for v in range(graph.num_nodes)
+        ]
+
+    # -- driver (Fig. 5(b)) -----------------------------------------------------
+
+    def mine(self) -> MiningResult:
+        counters = SearchCounters()
+        matches: List[Match] = []
+        workers = [_Worker(self.motif, self.delta) for _ in range(self.num_workers)]
+        queue: Deque[Task] = deque()
+        next_root = 0
+        m = self.graph.num_edges
+
+        def refill() -> int:
+            """Dispatch pending root tasks to free workers, chronologically."""
+            nonlocal next_root
+            dispatched = 0
+            for wid, w in enumerate(workers):
+                if w.busy:
+                    continue
+                while next_root < m:
+                    e0 = next_root
+                    next_root += 1
+                    counters.root_tasks += 1
+                    if self._src[e0] == self._dst[e0]:
+                        continue  # motif edges are never self-loops
+                    w.busy = True
+                    queue.append(Task(TaskType.BOOKKEEP, wid, edge=e0, is_root=True))
+                    dispatched += 1
+                    break
+                if next_root >= m and not w.busy:
+                    continue
+            return dispatched
+
+        refill()
+        while queue:
+            task = queue.popleft()
+            child = self._process(task, workers[task.worker], counters, matches)
+            if child is not None:
+                queue.append(child)
+            else:
+                workers[task.worker].busy = False
+                refill()
+
+        return MiningResult(
+            count=counters.matches,
+            matches=matches if self.record_matches else None,
+            counters=counters,
+        )
+
+    # -- task processing ----------------------------------------------------------
+
+    def _process(
+        self,
+        task: Task,
+        worker: _Worker,
+        counters: SearchCounters,
+        matches: List[Match],
+    ) -> Optional[Task]:
+        """Execute one task; return its child task (None ends the tree)."""
+        ctx = worker.context
+        if task.type is TaskType.BOOKKEEP:
+            return self._bookkeep(task, ctx, counters, matches)
+        if task.type is TaskType.SEARCH:
+            return self._search(task, ctx, counters)
+        return self._backtrack(task, ctx, counters)
+
+    def _bookkeep(
+        self,
+        task: Task,
+        ctx: MiningContext,
+        counters: SearchCounters,
+        matches: List[Match],
+    ) -> Optional[Task]:
+        e = task.edge
+        s, d, t = self._src[e], self._dst[e], self._ts[e]
+        ctx.bookkeep(e, s, d, t)
+        counters.bookkeeps += 1
+        if ctx.is_complete():
+            counters.matches += 1
+            if self.record_matches:
+                matches.append(Match(tuple(ctx.e_stack), ctx.node_map()))
+            return Task(TaskType.BACKTRACK, task.worker)
+        return Task(TaskType.SEARCH, task.worker, edge=e)
+
+    def _search(
+        self, task: Task, ctx: MiningContext, counters: SearchCounters
+    ) -> Task:
+        counters.searches += 1
+        found = self._find_next(ctx, task.edge, counters)
+        if found is None:
+            return Task(TaskType.BACKTRACK, task.worker)
+        return Task(TaskType.BOOKKEEP, task.worker, edge=found)
+
+    def _backtrack(
+        self, task: Task, ctx: MiningContext, counters: SearchCounters
+    ) -> Optional[Task]:
+        counters.backtracks += 1
+        popped = ctx.e_stack[-1]
+        s, d = self._src[popped], self._dst[popped]
+        ctx.backtrack(s, d)
+        if ctx.depth == 0:
+            ctx.reset()
+            return None  # the tree's root was popped: tree exhausted
+        return Task(TaskType.SEARCH, task.worker, edge=popped)
+
+    # -- FindNextMatchingEdge (Algorithm 1 lines 26-41) -----------------------------
+
+    def _find_next(
+        self, ctx: MiningContext, last_e: int, counters: SearchCounters
+    ) -> Optional[int]:
+        from bisect import bisect_right
+
+        u_m, v_m = ctx.motif.edge(ctx.depth)
+        u_g, v_g = ctx.graph_node(u_m), ctx.graph_node(v_m)
+        ts = self._ts
+        t_limit = ctx.t_limit
+        assert t_limit is not None  # depth >= 1 whenever a search runs
+
+        if u_g >= 0:
+            neigh = self._out[u_g]
+            start = bisect_right(neigh, last_e)
+            counters.binary_searches += 1
+            for pos in range(start, len(neigh)):
+                e = neigh[pos]
+                counters.candidates_scanned += 1
+                if ts[e] > t_limit:
+                    return None
+                if ctx.accepts(self._src[e], self._dst[e], ts[e]):
+                    return e
+            return None
+        if v_g >= 0:
+            neigh = self._in[v_g]
+            start = bisect_right(neigh, last_e)
+            counters.binary_searches += 1
+            for pos in range(start, len(neigh)):
+                e = neigh[pos]
+                counters.candidates_scanned += 1
+                if ts[e] > t_limit:
+                    return None
+                if ctx.accepts(self._src[e], self._dst[e], ts[e]):
+                    return e
+            return None
+        for e in range(last_e + 1, self.graph.num_edges):
+            counters.candidates_scanned += 1
+            if ts[e] > t_limit:
+                return None
+            if ctx.accepts(self._src[e], self._dst[e], ts[e]):
+                return e
+        return None

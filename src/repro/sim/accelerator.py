@@ -1,0 +1,267 @@
+"""Mint accelerator top level: the discrete-event timing engine (§V, §VII-C).
+
+Each processing engine (PE = context manager + context memory +
+dispatcher + two-phase search engine) expands one search tree at a time,
+exactly as in the paper: the task queue hands root tasks to free PEs in
+chronological order, and a PE's context manager / search engine alternate
+until the tree is exhausted.
+
+Timing is a conservative resource-reservation discrete-event simulation:
+PEs live on a min-heap keyed by their local clock, so shared resources
+(cache bank ports, MSHRs, DRAM banks and channel buses, the task queue
+port) are reserved in near-global time order.  The functional behaviour
+comes from :class:`~repro.sim.walker.TraceWalker`, so the simulated motif
+count is exact by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.motifs.motif import Motif
+from repro.sim.cache import CacheModel
+from repro.sim.config import MintConfig
+from repro.sim.context_memory import ContextMemoryModel
+from repro.sim.dram import DramModel
+from repro.sim.layout import GraphMemoryLayout
+from repro.sim.stats import SimReport
+from repro.sim.task_queue import RootTaskQueue
+from repro.sim.walker import TraceWalker
+
+
+class _PE:
+    """Simulation state of one processing engine."""
+
+    __slots__ = ("pid", "time", "trace", "state", "busy_cycles", "wait_cycles")
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.time = 0
+        self.trace: Optional[Iterator] = None
+        self.state = None  # the PE's MiningContext (its context memory)
+        self.busy_cycles = 0
+        self.wait_cycles = 0
+
+
+class MintSimulator:
+    """Cycle-level simulator for the Mint accelerator.
+
+    Parameters
+    ----------
+    graph, motif, delta:
+        The mining problem (same semantics as the software miners).
+    config:
+        Hardware configuration; defaults to the paper's Table II system.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        motif: Motif,
+        delta: int,
+        config: Optional[MintConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.motif = motif
+        self.delta = int(delta)
+        self.config = config or MintConfig()
+        self.layout = GraphMemoryLayout.for_graph(graph, self.config.cache.line_bytes)
+
+    def run(self) -> SimReport:
+        """Simulate the full mining run; returns timing + functional stats."""
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        cache = CacheModel(cfg.cache, dram)
+        # Context-manager task latencies derived from the context memory
+        # structure accesses each task performs (Fig. 6(c)).
+        ctx_timing = ContextMemoryModel(cfg.context_access_cycles).timing(self.motif)
+        walker = TraceWalker(
+            self.graph,
+            self.motif,
+            self.delta,
+            self.layout,
+            memoize=cfg.memoize,
+            bookkeep_cycles=ctx_timing.bookkeep_cycles,
+            backtrack_cycles=ctx_timing.backtrack_cycles,
+            dispatch_cycles=ctx_timing.dispatch_cycles,
+            phase2_window=cfg.phase2_window,
+            memo_lag_roots=min(cfg.memo_lag_roots, 2 * cfg.num_pes),
+            per_tree_index_cache=cfg.per_tree_index_cache,
+        )
+        queue = RootTaskQueue(
+            self.graph.num_edges, cfg.task_dequeue_cycles, cfg.task_queue_entries
+        )
+        num_pes = min(cfg.num_pes, max(1, self.graph.num_edges))
+        pes = [_PE(i) for i in range(num_pes)]
+        # Recently issued phase-1 streams for the task-coalescing ablation
+        # (§VI-B): (addr, nbytes) -> (issue_time, done_time).
+        recent_streams: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+        heap: List[Tuple[int, int]] = []
+        end_time = 0
+        roots: List[Optional[int]] = [None] * num_pes
+        for pe in pes:
+            issued = queue.dequeue(pe.time)
+            if issued is None:
+                continue
+            root, ready = issued
+            pe.time = ready
+            pe.state = walker.new_tree_state()
+            walker.begin_root(root)
+            roots[pe.pid] = root
+            pe.trace = walker.walk(root, pe.state)
+            heapq.heappush(heap, (pe.time, pe.pid))
+
+        while heap:
+            now, pid = heapq.heappop(heap)
+            pe = pes[pid]
+            op = next(pe.trace, None)
+            if op is None:
+                if roots[pid] is not None:
+                    walker.end_root(roots[pid])
+                    roots[pid] = None
+                issued = queue.dequeue(pe.time)
+                if issued is None:
+                    end_time = max(end_time, pe.time)
+                    continue
+                root, ready = issued
+                pe.time = ready
+                pe.state = walker.new_tree_state()
+                walker.begin_root(root)
+                roots[pid] = root
+                pe.trace = walker.walk(root, pe.state)
+                heapq.heappush(heap, (pe.time, pe.pid))
+                continue
+
+            kind = op[0]
+            if kind == "ctx":
+                pe.time += op[1]
+                pe.busy_cycles += op[1]
+            elif cfg.ideal_memory and kind in ("read", "readv", "write", "stream"):
+                # Idealized memory: every access is a single cycle (the
+                # stream still consumes one cycle per line).
+                if kind == "stream":
+                    _, addr, nbytes = op
+                    lines = (addr + nbytes - 1) // cfg.cache.line_bytes - addr // cfg.cache.line_bytes + 1
+                    pe.time += lines
+                    pe.busy_cycles += lines
+                elif kind == "readv":
+                    pe.time += len(op[1])
+                    pe.busy_cycles += len(op[1])
+                else:
+                    pe.time += 1
+                    pe.busy_cycles += 1
+            elif kind == "read":
+                _, addr, nbytes = op
+                done = cache.access(addr, nbytes, pe.time, is_write=False)
+                pe.wait_cycles += done - pe.time
+                pe.time = done
+                self._maybe_prefetch(cfg, cache, addr, nbytes, pe.time)
+            elif kind == "readv":
+                # Speculative phase-2 batch: fetches proceed concurrently;
+                # the engine consumes one record per cycle as they arrive.
+                done = pe.time
+                for addr in op[1]:
+                    done = max(done, cache.access(addr, 12, pe.time)) + 1
+                pe.wait_cycles += max(0, done - pe.time - len(op[1]))
+                pe.busy_cycles += len(op[1])
+                pe.time = done
+            elif kind == "write":
+                # Posted write (memo update): the PE does not wait for it.
+                _, addr, nbytes = op
+                cache.access(addr, nbytes, pe.time, is_write=True)
+                pe.time += 1
+                pe.busy_cycles += 1
+            elif kind == "stream":
+                _, addr, nbytes = op
+                pe.time = self._stream(
+                    cfg, cache, recent_streams, addr, nbytes, pe
+                )
+            elif kind == "match":
+                pass  # counted in walker stats
+            else:  # pragma: no cover - walker emits only the kinds above
+                raise RuntimeError(f"unknown walker op {op!r}")
+            heapq.heappush(heap, (pe.time, pe.pid))
+
+        cycles = max(end_time, max((pe.time for pe in pes), default=0))
+        return SimReport(
+            config=cfg,
+            cycles=cycles,
+            matches=walker.stats.matches,
+            walk=walker.stats,
+            cache=cache.stats,
+            dram=dram.stats,
+            queue=queue.stats,
+            pe_busy_cycles=sum(pe.busy_cycles for pe in pes),
+            pe_memory_wait_cycles=sum(pe.wait_cycles for pe in pes),
+        )
+
+    # -- memory operation timing -----------------------------------------------
+
+    def _stream(
+        self,
+        cfg: MintConfig,
+        cache: CacheModel,
+        recent: Dict[Tuple[int, int], Tuple[int, int]],
+        addr: int,
+        nbytes: int,
+        pe: _PE,
+    ) -> int:
+        """Phase-1 neighbor-index stream: pipelined line fetches.
+
+        Up to ``stream_window`` lines are in flight; the comparator array
+        consumes one arrived line per cycle (§V-B: "streaming edge index
+        cache lines using a series of comparators in parallel").
+        """
+        # §VI-B: task coalescing merges identical in-flight scans, but the
+        # lines it would save are already being captured by the cache and
+        # the comparator stream still has to run — so, as the paper found,
+        # it performs "very close to a non-task-coalescing baseline".
+        # Merged-scan opportunities are tracked in `recent` for reporting.
+        start = pe.time
+
+        line_bytes = cfg.cache.line_bytes
+        first = addr // line_bytes
+        last = (addr + nbytes - 1) // line_bytes
+        window = max(1, cfg.stream_window)
+        access = cache.access_line
+        n_lines = last - first + 1
+        # The engine issues at most one line per cycle with up to `window`
+        # outstanding, and the comparator array consumes one arrived line
+        # per cycle (§V-B).
+        t_issue = start
+        consume = start
+        pending: List[int] = []
+        p_head = 0
+        for line in range(first, last + 1):
+            if len(pending) - p_head >= window:
+                d = pending[p_head]
+                p_head += 1
+                if d > t_issue:
+                    t_issue = d
+            done = access(line, t_issue)
+            pending.append(done)
+            if done > consume:
+                consume = done
+            consume += 1
+            t_issue += 1
+        self._maybe_prefetch(cfg, cache, (last + 1) * line_bytes, 1, consume)
+        pe.wait_cycles += max(0, consume - start - n_lines)
+        pe.busy_cycles += n_lines
+        if cfg.task_coalescing:
+            recent[(addr, nbytes)] = (start, consume)
+        return consume
+
+    def _maybe_prefetch(
+        self, cfg: MintConfig, cache: CacheModel, addr: int, nbytes: int, now: int
+    ) -> None:
+        """§VI-B prefetching ablation: fetch the next lines after a demand
+        access.  Off by default — the paper measured it hurts (bandwidth
+        pressure + cache pollution), and so does this model."""
+        if cfg.prefetch_degree <= 0:
+            return
+        line = (addr + nbytes - 1) // cfg.cache.line_bytes
+        for d in range(1, cfg.prefetch_degree + 1):
+            cache.access_line(line + d, now)

@@ -1,0 +1,172 @@
+"""Multi-banked, non-blocking, set-associative on-chip cache (Table II).
+
+Models the features the paper calls out as performance-relevant:
+
+- **banking & ports** — line addresses interleave across banks; each bank
+  accepts ``ports_per_bank`` new accesses per cycle, so concurrent search
+  engines contend for bank ports (the paper measures 0.5% port-contention
+  stall cycles at 1024 PEs);
+- **MSHRs** — misses to a line already in flight merge into the existing
+  MSHR; a bank with all MSHRs busy stalls new misses until one retires;
+- **LRU set-associative arrays** with write-back of dirty lines (memo
+  table updates are the only writes in Mint).
+
+Like the DRAM model this is a resource-reservation model: ``access`` is
+called with non-decreasing ``now`` and returns the completion cycle.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.config import CacheConfig
+from repro.sim.dram import DramModel
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    mshr_merges: int = 0
+    mshr_stall_cycles: int = 0
+    port_stall_cycles: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.hits + self.misses + self.mshr_merges
+        if not looked_up:
+            return 0.0
+        # A merge found the line already being fetched; count it as a hit
+        # for the hit-rate the paper reports (it produced no new DRAM
+        # traffic), misses are new line fetches.
+        return (self.hits + self.mshr_merges) / looked_up
+
+
+class _Line:
+    __slots__ = ("fill_time", "dirty")
+
+    def __init__(self, fill_time: int, dirty: bool) -> None:
+        self.fill_time = fill_time
+        self.dirty = dirty
+
+
+class _Bank:
+    __slots__ = ("sets", "ports", "outstanding")
+
+    def __init__(self, num_sets: int, num_ports: int) -> None:
+        self.sets: List[OrderedDict] = [OrderedDict() for _ in range(num_sets)]
+        self.ports: List[int] = [0] * num_ports
+        self.outstanding: Dict[int, int] = {}
+
+
+class CacheModel:
+    """The on-chip cache, backed by a :class:`~repro.sim.dram.DramModel`."""
+
+    def __init__(self, config: CacheConfig, dram: DramModel) -> None:
+        self.config = config
+        self.dram = dram
+        self.stats = CacheStats()
+        self._banks = [
+            _Bank(config.sets_per_bank, config.ports_per_bank)
+            for _ in range(config.num_banks)
+        ]
+        # Hot-path constants (the stream loop calls access_line millions
+        # of times; attribute/property lookups dominate otherwise).
+        self._num_banks = config.num_banks
+        self._sets_per_bank = config.sets_per_bank
+        self._access_cycles = config.access_cycles
+        self._ways = config.ways
+        self._mshrs = config.mshrs_per_bank
+        self._line_bytes = config.line_bytes
+
+    # -- public API -----------------------------------------------------------
+
+    def access(self, addr: int, nbytes: int, now: int, is_write: bool = False) -> int:
+        """Access ``nbytes`` at ``addr``; returns the completion cycle.
+
+        Multi-line accesses are split per line; completion is the latest
+        line's completion (lines fetch concurrently subject to bank port
+        and MSHR availability).
+        """
+        line_first = addr // self.config.line_bytes
+        line_last = (addr + max(nbytes, 1) - 1) // self.config.line_bytes
+        done = now
+        for line in range(line_first, line_last + 1):
+            done = max(done, self.access_line(line, now, is_write))
+        return done
+
+    def access_line(self, line: int, now: int, is_write: bool = False) -> int:
+        """Access one cache line; returns its data-available cycle."""
+        stats = self.stats
+        stats.accesses += 1
+        bank = self._banks[line % self._num_banks]
+
+        # Bank port arbitration: take the earliest-free port.
+        ports = bank.ports
+        port_idx = 0
+        best = ports[0]
+        for i in range(1, len(ports)):
+            if ports[i] < best:
+                best = ports[i]
+                port_idx = i
+        start = best if best > now else now
+        stats.port_stall_cycles += start - now
+        ports[port_idx] = start + 1
+        tag_done = start + self._access_cycles
+
+        set_ = bank.sets[(line // self._num_banks) % self._sets_per_bank]
+        entry = set_.get(line)
+        if entry is not None:
+            set_.move_to_end(line)
+            if is_write:
+                entry.dirty = True
+            if entry.fill_time <= tag_done:
+                stats.hits += 1
+                return tag_done
+            # Line is in flight: merge into the existing MSHR.
+            stats.mshr_merges += 1
+            return entry.fill_time
+
+        # Miss: need a free MSHR in this bank.
+        stats.misses += 1
+        self._prune_outstanding(bank, start)
+        if len(bank.outstanding) >= self._mshrs:
+            earliest = min(bank.outstanding.values())
+            stats.mshr_stall_cycles += max(0, earliest - start)
+            start = max(start, earliest)
+            tag_done = start + self._access_cycles
+            self._prune_outstanding(bank, start)
+
+        self._maybe_evict(set_, start)
+        fill_time = self.dram.access(line, tag_done) + self._access_cycles
+        set_[line] = _Line(fill_time, is_write)
+        bank.outstanding[line] = fill_time
+        return fill_time
+
+    # -- internals --------------------------------------------------------------
+
+    def _prune_outstanding(self, bank: _Bank, now: int) -> None:
+        finished = [l for l, t in bank.outstanding.items() if t <= now]
+        for l in finished:
+            del bank.outstanding[l]
+
+    def _maybe_evict(self, set_: OrderedDict, now: int) -> None:
+        if len(set_) < self.config.ways:
+            return
+        # Evict the least-recently-used line that is not still in flight;
+        # fall back to plain LRU if every way is in flight (rare).
+        victim_line = None
+        for line, entry in set_.items():
+            if entry.fill_time <= now:
+                victim_line = line
+                break
+        if victim_line is None:
+            victim_line = next(iter(set_))
+        entry = set_.pop(victim_line)
+        if entry.dirty:
+            self.stats.writebacks += 1
+            self.dram.access(victim_line, now, is_write=True)

@@ -1,0 +1,174 @@
+"""Mint system configuration (paper Table II).
+
+Defaults reproduce the evaluated configuration: 512 processing engines
+(each a context manager + context memory instance + dispatcher +
+two-phase search engine), one 16-entry task queue, a 64-bank 4 MB
+on-chip cache and 8-channel DDR4-3200 DRAM, clocked at 1.6 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """On-chip SRAM cache parameters (Table II)."""
+
+    num_banks: int = 64
+    bank_kb: int = 64
+    ways: int = 4
+    line_bytes: int = 64
+    ports_per_bank: int = 2
+    mshrs_per_bank: int = 32
+    access_cycles: int = 2
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_banks * self.bank_kb * 1024
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+    @property
+    def sets_per_bank(self) -> int:
+        return (self.bank_kb * 1024) // (self.line_bytes * self.ways)
+
+    def __post_init__(self) -> None:
+        if self.bank_kb * 1024 % (self.line_bytes * self.ways):
+            raise ValueError("bank size must be a multiple of line_bytes * ways")
+        for name in ("num_banks", "bank_kb", "ways", "line_bytes", "ports_per_bank"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DDR4-3200 8-channel DRAM parameters, in accelerator cycles.
+
+    At 1.6 GHz one 64 B burst per channel every 4 cycles yields the
+    paper's 204.8 GB/s aggregate peak (8 × 25.6 GB/s).
+    """
+
+    channels: int = 8
+    banks_per_channel: int = 16
+    row_bytes: int = 2048
+    burst_cycles: int = 4
+    row_hit_cycles: int = 40
+    row_miss_cycles: int = 80
+    bank_busy_hit_cycles: int = 24
+    bank_busy_miss_cycles: int = 64
+    controller_cycles: int = 10
+    line_bytes: int = 64
+    #: All-bank refresh: every ``refresh_interval_cycles`` the channel is
+    #: unavailable for ``refresh_cycles`` (tREFI ~7.8 us / tRFC ~440 ns
+    #: at 1.6 GHz accelerator cycles).
+    refresh_interval_cycles: int = 12_480
+    refresh_cycles: int = 700
+    #: Bus turnaround penalty when a channel switches read<->write.
+    turnaround_cycles: int = 8
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        return self.channels * self.line_bytes / self.burst_cycles
+
+    def peak_gbps(self, frequency_ghz: float) -> float:
+        return self.peak_bytes_per_cycle * frequency_ghz
+
+
+@dataclass(frozen=True)
+class MintConfig:
+    """Full Mint accelerator configuration (Table II)."""
+
+    num_pes: int = 512
+    frequency_ghz: float = 1.6
+    task_queue_entries: int = 16
+    task_dequeue_cycles: int = 1
+    context_access_cycles: int = 2
+    dispatch_cycles: int = 1
+    bookkeep_cycles: int = 2
+    backtrack_cycles: int = 2
+    #: Max in-flight phase-1 stream lines per search engine.
+    stream_window: int = 8
+    #: Speculative phase-2 candidate fetches in flight per search engine.
+    phase2_window: int = 4
+    #: Search index memoization (§VI-A).
+    memoize: bool = True
+    #: Conservative slack for memo updates: entries are stored for a root
+    #: lagged by this many edges so that every concurrently in-flight tree
+    #: (dispatched within this window) can still use them (§VI-A's
+    #: guarantee holds for *previous* trees; the lag covers in-flight ones).
+    memo_lag_roots: int = 1024
+    #: Per-tree search-index cache: the context memory remembers, for the
+    #: few nodes this tree has already scanned, the position of the first
+    #: edge past the tree's own root, so re-scans after backtracking skip
+    #: the futile prefix.  A small context-memory extension beyond the
+    #: paper (ablatable; see DESIGN.md).
+    per_tree_index_cache: bool = True
+    #: §VI-B "what didn't work" knobs, off by default like the paper.
+    prefetch_degree: int = 0
+    task_coalescing: bool = False
+    #: Analysis knob: pretend every memory access completes in one cycle.
+    #: Quantifies how memory-bound the workload is (§VI-B reports search
+    #: engines wait on DRAM >98% of the time).
+    ideal_memory: bool = False
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency_ghz must be positive")
+
+    # -- convenience ----------------------------------------------------------
+
+    def with_cache_mb(self, total_mb: float) -> "MintConfig":
+        """Resize the cache, keeping the bank count where possible.
+
+        Below one KB per bank the bank count shrinks so every bank keeps
+        at least 1 KB (Fig. 13 sweeps at scaled-down sizes).
+        """
+        cache_kb = max(1, int(total_mb * 1024))
+        num_banks = min(self.cache.num_banks, cache_kb)
+        bank_kb = cache_kb // num_banks
+        return replace(
+            self, cache=replace(self.cache, num_banks=num_banks, bank_kb=bank_kb)
+        )
+
+    def with_pes(self, num_pes: int) -> "MintConfig":
+        return replace(self, num_pes=num_pes)
+
+    def with_memoize(self, memoize: bool) -> "MintConfig":
+        return replace(self, memoize=memoize)
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def table(self) -> Dict[str, str]:
+        """Render the configuration as Table II-style rows."""
+        c, d = self.cache, self.dram
+        return {
+            "Context Manager": f"{self.num_pes}x context manager instances",
+            "Search Unit": f"{self.num_pes}x dispatchers, {self.num_pes}x two-phase search engines",
+            "Task Queue": (
+                f"1x queue, {self.task_queue_entries}-entry, "
+                f"{self.task_dequeue_cycles} cycle task dequeue latency"
+            ),
+            "Context Memory": (
+                f"{self.num_pes}x context instances, "
+                f"{self.context_access_cycles} cycle access latency"
+            ),
+            "On-chip Cache": (
+                f"{c.num_banks}x cache banks of {c.bank_kb} KB SRAM cache "
+                f"({c.total_mb:.0f} MB total), {c.ways}-way set associative, "
+                f"{c.ports_per_bank} cache ports per bank, {c.line_bytes} B block size, "
+                f"{c.mshrs_per_bank} MSHR per bank, {c.access_cycles} cycle access latency"
+            ),
+            "DRAM": (
+                f"{d.channels}-channel DDR4-3200, "
+                f"{d.peak_gbps(self.frequency_ghz):.1f} GB/s peak bandwidth"
+            ),
+        }

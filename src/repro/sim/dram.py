@@ -1,0 +1,127 @@
+"""DDR4 DRAM timing model (channels, banks, row buffers).
+
+A deliberately compact Ramulator-style model: line addresses interleave
+across channels, then across banks within a channel; each bank keeps an
+open row (row-buffer hits are cheaper than misses, which pay
+precharge+activate); each channel's data bus serializes 64 B bursts at
+``burst_cycles`` apart, which sets the peak bandwidth (8 × 16 B/cycle =
+128 B/cycle = 204.8 GB/s at 1.6 GHz, matching the paper's Table II).
+
+The model is a resource-reservation one: callers invoke
+:meth:`DramModel.access` in non-decreasing ``now`` order (guaranteed by
+the simulator's min-heap scheduling) and receive the cycle at which the
+data burst completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.config import DramConfig
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: int = 0
+    refresh_stall_cycles: int = 0
+    turnaround_stalls: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class _Bank:
+    __slots__ = ("open_row", "next_free")
+
+    def __init__(self) -> None:
+        self.open_row = -1
+        self.next_free = 0
+
+
+class DramModel:
+    """Per-line DRAM access timing with channel/bank/row-buffer state."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self._banks: List[List[_Bank]] = [
+            [_Bank() for _ in range(config.banks_per_channel)]
+            for _ in range(config.channels)
+        ]
+        self._channel_next_free: List[int] = [0] * config.channels
+        self._channel_last_was_write: List[bool] = [False] * config.channels
+        self.stats = DramStats()
+        self._lines_per_row = max(1, config.row_bytes // config.line_bytes)
+
+    def _after_refresh(self, cycle: int) -> int:
+        """Push ``cycle`` past any all-bank refresh window it falls into."""
+        cfg = self.config
+        if cfg.refresh_interval_cycles <= 0 or cfg.refresh_cycles <= 0:
+            return cycle
+        window_start = (cycle // cfg.refresh_interval_cycles) * cfg.refresh_interval_cycles
+        if window_start > 0 and cycle - window_start < cfg.refresh_cycles:
+            self.stats.refresh_stall_cycles += window_start + cfg.refresh_cycles - cycle
+            return window_start + cfg.refresh_cycles
+        return cycle
+
+    def _route(self, line_addr: int):
+        cfg = self.config
+        channel = line_addr % cfg.channels
+        bank = (line_addr // cfg.channels) % cfg.banks_per_channel
+        row = line_addr // (cfg.channels * cfg.banks_per_channel * self._lines_per_row)
+        return channel, bank, row
+
+    def access(self, line_addr: int, now: int, is_write: bool = False) -> int:
+        """Access one cache line; returns the data-burst completion cycle."""
+        cfg = self.config
+        channel, bank_id, row = self._route(line_addr)
+        bank = self._banks[channel][bank_id]
+
+        start = max(now + cfg.controller_cycles, bank.next_free)
+        start = self._after_refresh(start)
+        if self._channel_last_was_write[channel] != is_write:
+            # Read<->write bus turnaround on this channel.
+            self.stats.turnaround_stalls += 1
+            start += cfg.turnaround_cycles
+            self._channel_last_was_write[channel] = is_write
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            data_ready = start + cfg.row_hit_cycles - cfg.burst_cycles
+            bank.next_free = start + cfg.bank_busy_hit_cycles
+        else:
+            self.stats.row_misses += 1
+            data_ready = start + cfg.row_miss_cycles - cfg.burst_cycles
+            bank.next_free = start + cfg.bank_busy_miss_cycles
+            bank.open_row = row
+
+        burst_start = max(data_ready, self._channel_next_free[channel])
+        done = burst_start + cfg.burst_cycles
+        self._channel_next_free[channel] = done
+        self.stats.busy_cycles += cfg.burst_cycles
+
+        if is_write:
+            self.stats.writes += 1
+            self.stats.write_bytes += cfg.line_bytes
+        else:
+            self.stats.reads += 1
+            self.stats.read_bytes += cfg.line_bytes
+        return done
+
+    def bandwidth_utilization(self, total_cycles: int) -> float:
+        """Fraction of peak bandwidth used over ``total_cycles``."""
+        if total_cycles <= 0:
+            return 0.0
+        peak = self.config.peak_bytes_per_cycle * total_cycles
+        return min(1.0, self.stats.total_bytes / peak)

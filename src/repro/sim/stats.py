@@ -1,0 +1,68 @@
+"""Simulation report: everything the paper's figures read off a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.cache import CacheStats
+from repro.sim.config import MintConfig
+from repro.sim.dram import DramStats
+from repro.sim.task_queue import TaskQueueStats
+from repro.sim.walker import WalkStats
+
+
+@dataclass
+class SimReport:
+    """Outcome of one :class:`~repro.sim.accelerator.MintSimulator` run."""
+
+    config: MintConfig
+    cycles: int
+    matches: int
+    walk: WalkStats
+    cache: CacheStats
+    dram: DramStats
+    queue: TaskQueueStats
+    #: Cycles PEs spent in on-chip context/dispatch work.
+    pe_busy_cycles: int
+    #: Cycles PEs spent waiting on the memory system.
+    pe_memory_wait_cycles: int
+
+    @property
+    def seconds(self) -> float:
+        return self.config.cycles_to_seconds(self.cycles)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram.total_bytes
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Average DRAM bandwidth as a fraction of peak (Fig. 10/13)."""
+        if self.cycles <= 0:
+            return 0.0
+        peak = self.config.dram.peak_bytes_per_cycle * self.cycles
+        return min(1.0, self.dram.total_bytes / peak)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def memory_wait_fraction(self) -> float:
+        """Fraction of PE active time spent waiting on memory (§VI-B
+        reports search engines wait on DRAM >98% of the time)."""
+        active = self.pe_busy_cycles + self.pe_memory_wait_cycles
+        return self.pe_memory_wait_cycles / active if active else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "matches": self.matches,
+            "dram_bytes": self.dram_bytes,
+            "bandwidth_utilization": self.bandwidth_utilization,
+            "cache_hit_rate": self.cache_hit_rate,
+            "memory_wait_fraction": self.memory_wait_fraction,
+            "row_hit_rate": self.dram.row_hit_rate,
+        }

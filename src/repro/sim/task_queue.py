@@ -1,0 +1,58 @@
+"""Hardware task queue model (paper §V-B, Fig. 6(b)).
+
+The task queue stores root book-keeping tasks — one per graph edge, in
+chronological order — and offloads them to context managers.  Each entry
+carries just the graph edge index ``e_G`` (4 B); the host streams entries
+in, so the queue never starves while root tasks remain.  Dequeueing takes
+one cycle and the queue has a single port, so PEs requesting new trees
+simultaneously serialize — which the simulator models with a shared
+next-free cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class TaskQueueStats:
+    dequeues: int = 0
+    contention_cycles: int = 0
+
+
+class RootTaskQueue:
+    """Serves root edge indices ``0..num_edges-1`` in chronological order."""
+
+    def __init__(self, num_edges: int, dequeue_cycles: int = 1, entries: int = 16) -> None:
+        if dequeue_cycles < 1:
+            raise ValueError("dequeue_cycles must be >= 1")
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self.num_edges = num_edges
+        self.dequeue_cycles = dequeue_cycles
+        self.entries = entries
+        self._next_root = 0
+        self._port_free = 0
+        self.stats = TaskQueueStats()
+
+    @property
+    def remaining(self) -> int:
+        return self.num_edges - self._next_root
+
+    def dequeue(self, now: int) -> Optional[Tuple[int, int]]:
+        """Pop the next root task at cycle ``now``.
+
+        Returns ``(root_edge, ready_cycle)`` or ``None`` when all root
+        tasks have been issued.
+        """
+        if self._next_root >= self.num_edges:
+            return None
+        start = max(now, self._port_free)
+        self.stats.contention_cycles += start - now
+        ready = start + self.dequeue_cycles
+        self._port_free = ready
+        root = self._next_root
+        self._next_root += 1
+        self.stats.dequeues += 1
+        return root, ready

@@ -1,0 +1,113 @@
+"""Per-PE activity tracing for the Mint simulator.
+
+A debugging / analysis aid: wraps a :class:`TraceWalker` to record the
+operation mix per root task (how many context operations, reads, streams,
+matches each tree generated), from which load-balance and critical-path
+summaries are derived — the quantities we used to diagnose the scaled
+workloads' tail behaviour, packaged for downstream users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.motifs.motif import Motif
+from repro.sim.layout import GraphMemoryLayout
+from repro.sim.walker import TraceWalker
+
+
+@dataclass
+class TreeProfile:
+    """Operation counts of one search tree (one root task)."""
+
+    root_edge: int
+    ctx_ops: int = 0
+    reads: int = 0
+    read_batches: int = 0
+    stream_bytes: int = 0
+    writes: int = 0
+    matches: int = 0
+
+    @property
+    def memory_ops(self) -> int:
+        return self.reads + self.read_batches + self.writes
+
+    @property
+    def weight(self) -> int:
+        """A proxy for the tree's serial latency contribution."""
+        return self.ctx_ops + self.memory_ops + self.stream_bytes // 64
+
+
+@dataclass
+class WorkloadProfile:
+    """Aggregate of all tree profiles for one (graph, motif, δ) run."""
+
+    trees: List[TreeProfile]
+
+    def total_matches(self) -> int:
+        return sum(t.matches for t in self.trees)
+
+    def weights(self) -> np.ndarray:
+        return np.array([t.weight for t in self.trees], dtype=np.int64)
+
+    def load_imbalance(self) -> float:
+        """Max tree weight over mean tree weight (1.0 = perfectly even).
+
+        High values mean a few giant search trees dominate — the
+        critical-path hazard for a PE-parallel design like Mint's.
+        """
+        w = self.weights()
+        if len(w) == 0 or w.mean() == 0:
+            return 1.0
+        return float(w.max() / w.mean())
+
+    def top_trees(self, k: int = 5) -> List[TreeProfile]:
+        return sorted(self.trees, key=lambda t: -t.weight)[:k]
+
+    def gini(self) -> float:
+        """Gini coefficient of tree weights (0 = even, ->1 = concentrated)."""
+        w = np.sort(self.weights().astype(np.float64))
+        if len(w) == 0 or w.sum() == 0:
+            return 0.0
+        n = len(w)
+        cum = np.cumsum(w)
+        return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def profile_workload(
+    graph: TemporalGraph,
+    motif: Motif,
+    delta: int,
+    memoize: bool = True,
+    max_roots: Optional[int] = None,
+) -> WorkloadProfile:
+    """Replay every root task and profile its operation mix."""
+    layout = GraphMemoryLayout.for_graph(graph)
+    walker = TraceWalker(graph, motif, delta, layout, memoize=memoize)
+    trees: List[TreeProfile] = []
+    num_roots = graph.num_edges if max_roots is None else min(max_roots, graph.num_edges)
+    for root in range(num_roots):
+        walker.begin_root(root)
+        profile = TreeProfile(root_edge=root)
+        state = walker.new_tree_state()
+        for op in walker.walk(root, state):
+            kind = op[0]
+            if kind == "ctx":
+                profile.ctx_ops += 1
+            elif kind == "read":
+                profile.reads += 1
+            elif kind == "readv":
+                profile.read_batches += 1
+            elif kind == "stream":
+                profile.stream_bytes += op[2]
+            elif kind == "write":
+                profile.writes += 1
+            elif kind == "match":
+                profile.matches += 1
+        walker.end_root(root)
+        trees.append(profile)
+    return WorkloadProfile(trees=trees)

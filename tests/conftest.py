@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def random_temporal_graph(
+    rng: random.Random,
+    num_nodes: int,
+    num_edges: int,
+    time_range: int = 1000,
+    allow_self_loops: bool = False,
+) -> TemporalGraph:
+    """Build a uniformly random temporal graph for property tests."""
+    edges: List[Tuple[int, int, int]] = []
+    for _ in range(num_edges):
+        s = rng.randrange(num_nodes)
+        d = rng.randrange(num_nodes)
+        if not allow_self_loops and d == s and num_nodes > 1:
+            d = (d + 1) % num_nodes
+        edges.append((s, d, rng.randrange(time_range)))
+    return TemporalGraph(edges, num_nodes=num_nodes)
+
+
+@pytest.fixture
+def tiny_graph() -> TemporalGraph:
+    """The walk-through example of the paper's Fig. 1/4.
+
+    Edges (index: src->dst @t): 0: 0->1@5, 1: 1->2@10, 2: 2->0@20,
+    3: 2->3@25, 4: 1->2@30, 5: 0->1@40.
+    """
+    return TemporalGraph(
+        [
+            (0, 1, 5),
+            (1, 2, 10),
+            (2, 0, 20),
+            (2, 3, 25),
+            (1, 2, 30),
+            (0, 1, 40),
+        ]
+    )
+
+
+@pytest.fixture
+def chain_graph() -> TemporalGraph:
+    """A time-ordered chain a->b->c->d->e with one edge per step."""
+    return TemporalGraph(
+        [(0, 1, 10), (1, 2, 20), (2, 3, 30), (3, 4, 40)]
+    )
+
+
+@pytest.fixture
+def burst_graph() -> TemporalGraph:
+    """Bursty multi-edges between few nodes; exercises repeated pairs."""
+    return TemporalGraph(
+        [
+            (0, 1, 1),
+            (1, 0, 2),
+            (0, 1, 3),
+            (1, 0, 4),
+            (0, 2, 5),
+            (2, 1, 6),
+            (0, 1, 7),
+            (1, 2, 8),
+            (2, 0, 9),
+        ]
+    )

@@ -1,0 +1,65 @@
+"""Tests for the area/power model (paper Fig. 14)."""
+
+import pytest
+
+from repro.analysis.area_power import AreaPowerModel, ComponentCost
+from repro.sim.config import MintConfig
+
+
+class TestReferenceConfig:
+    """The default 512-PE / 4 MB configuration must reproduce Fig. 14."""
+
+    def test_total_area_matches_paper(self):
+        model = AreaPowerModel()
+        assert model.total_area_mm2(MintConfig()) == pytest.approx(28.3, abs=0.2)
+
+    def test_total_power_matches_paper(self):
+        model = AreaPowerModel()
+        assert model.total_power_w(MintConfig()) == pytest.approx(5.1, abs=0.15)
+
+    def test_component_breakdown_values(self):
+        rows = {c.name: c for c in AreaPowerModel().breakdown(MintConfig())}
+        assert rows["Context Mem"].area_mm2 == pytest.approx(4.98, abs=0.01)
+        assert rows["Context Mem"].power_mw == pytest.approx(265.0, abs=0.5)
+        assert rows["64 KB cache"].area_mm2 == pytest.approx(19.29, abs=0.01)
+        assert rows["64 KB cache"].power_mw == pytest.approx(4698.2, abs=1.0)
+        assert rows["Search Engines"].area_mm2 == pytest.approx(3.12, abs=0.01)
+        assert rows["Crossbar"].area_mm2 == pytest.approx(0.05, abs=0.01)
+
+    def test_cache_dominates_area_and_power(self):
+        rows = AreaPowerModel().breakdown(MintConfig())
+        cache = max(rows, key=lambda c: c.area_mm2)
+        assert "cache" in cache.name
+
+
+class TestScaling:
+    def test_pe_components_scale_linearly(self):
+        model = AreaPowerModel()
+        half = {c.name: c for c in model.breakdown(MintConfig(num_pes=256))}
+        full = {c.name: c for c in model.breakdown(MintConfig(num_pes=512))}
+        assert half["Context Mem"].area_mm2 == pytest.approx(
+            full["Context Mem"].area_mm2 / 2
+        )
+        assert half["Search Engines"].power_mw == pytest.approx(
+            full["Search Engines"].power_mw / 2
+        )
+
+    def test_cache_scales_with_capacity(self):
+        model = AreaPowerModel()
+        small = model.total_area_mm2(MintConfig().with_cache_mb(1))
+        assert small < model.total_area_mm2(MintConfig())
+
+    def test_technology_shrink(self):
+        at28 = AreaPowerModel(28.0).total_area_mm2(MintConfig())
+        at14 = AreaPowerModel(14.0).total_area_mm2(MintConfig())
+        assert at14 == pytest.approx(at28 / 4)
+
+    def test_invalid_node(self):
+        with pytest.raises(ValueError):
+            AreaPowerModel(0)
+
+    def test_row_rendering(self):
+        row = ComponentCost("X", 4, 0.0001, 0.01).row()
+        assert row[0] == "X (4x)"
+        assert row[1] == "< 0.001"
+        assert row[2] == "< 0.1"

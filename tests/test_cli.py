@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import make_dataset
+from repro.graph.loaders import save_snap_text
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = make_dataset("email-eu", scale=0.04, seed=3)
+    path = tmp_path / "g.txt"
+    save_snap_text(g, path)
+    return str(path), g
+
+
+class TestGenerate:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "out.txt"
+        assert main(["generate", "email-eu", str(out), "--scale", "0.05"]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "email-eu", str(a), "--scale", "0.05", "--seed", "9"])
+        main(["generate", "email-eu", str(b), "--scale", "0.05", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestMine:
+    def test_mine_counts(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(["mine", path, "--motif", "M1", "--delta", str(delta)]) == 0
+        out = capsys.readouterr().out
+        assert "M1 count" in out
+        from repro.mining.mackey import count_motifs
+        from repro.motifs.catalog import M1
+
+        expected = count_motifs(g, M1, delta)
+        assert f": {expected}" in out
+
+    def test_mine_show_matches(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 20
+        main(["mine", path, "--motif", "M1", "--delta", str(delta),
+              "--show-matches", "2"])
+        out = capsys.readouterr().out
+        assert "candidates examined" in out
+
+
+class TestOtherCommands:
+    def test_info(self, graph_file, capsys):
+        path, _ = graph_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "temporal edges" in out
+
+    def test_census(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 60
+        assert main(["census", path, "--delta", str(delta)]) == 0
+        out = capsys.readouterr().out
+        assert "r6" in out and "total:" in out
+
+    def test_simulate(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(
+            ["simulate", path, "--delta", str(delta), "--pes", "16",
+             "--cache-kb", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "matches" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "512x" in capsys.readouterr().out
+
+    def test_experiment_fig14(self, capsys):
+        assert main(["experiment", "fig14"]) == 0
+        assert "28.3" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the CPU timing model (paper Fig. 2 behaviours)."""
+
+import pytest
+
+from repro.baselines.cpu_model import CpuModel, CpuSpec, DEFAULT_THREAD_SWEEP
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.catalog import M1
+
+
+@pytest.fixture(scope="module")
+def counters():
+    g = make_dataset("wiki-talk", scale=0.15, seed=2)
+    return MackeyMiner(g, M1, g.time_span // 30).mine().counters, g
+
+
+class TestRuntime:
+    def test_positive_time(self, counters):
+        c, g = counters
+        t = CpuModel().runtime(c, 10**8, threads=1)
+        assert t.total_s > 0
+        assert t.compute_s > 0 and t.memory_s > 0 and t.branch_s > 0
+        assert t.overhead_s == 0  # single thread pays no spawn overhead
+
+    def test_threads_validated(self, counters):
+        c, _ = counters
+        with pytest.raises(ValueError):
+            CpuModel().runtime(c, 10**8, threads=0)
+
+    def test_two_threads_faster_than_one(self, counters):
+        c, _ = counters
+        m = CpuModel()
+        assert m.runtime(c, 10**8, 2).total_s < m.runtime(c, 10**8, 1).total_s
+
+    def test_scaling_saturates(self, counters):
+        """Fig. 2: performance scaling saturates beyond 8-32 threads."""
+        c, _ = counters
+        curve = CpuModel().scaling_curve(c, 10**8)
+        times = [t.total_s for t in curve]
+        best_idx = times.index(min(times))
+        best_threads = curve[best_idx].threads
+        assert 8 <= best_threads <= 256
+        # 256 threads must not be dramatically better than the knee.
+        assert times[-1] > min(times)
+
+    def test_best_runtime_is_min_of_sweep(self, counters):
+        c, _ = counters
+        m = CpuModel()
+        best = m.best_runtime(c, 10**8)
+        curve = m.scaling_curve(c, 10**8)
+        assert best.total_s == min(t.total_s for t in curve)
+        assert best.threads in DEFAULT_THREAD_SWEEP
+
+
+class TestMissRate:
+    def test_monotone_in_working_set(self):
+        m = CpuModel()
+        sizes = [10**5, 10**7, 10**9, 10**11]
+        rates = [m.miss_rate(s) for s in sizes]
+        assert rates == sorted(rates)
+
+    def test_bounded(self):
+        m = CpuModel()
+        assert 0 < m.miss_rate(1) < 1
+        assert m.miss_rate(10**13) <= 0.80
+
+    def test_scaled_llc(self):
+        spec = CpuSpec().scaled_llc(0.01)
+        assert spec.llc_bytes == int(CpuSpec().llc_bytes * 0.01)
+
+    def test_scaled_llc_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec().scaled_llc(0)
+        with pytest.raises(ValueError):
+            CpuSpec().scaled_llc(1.5)
+
+
+class TestCpiStack:
+    def test_fractions_sum_to_one(self, counters):
+        c, g = counters
+        stack = CpuModel(CpuSpec().scaled_llc(0.001)).cpi_stack(
+            c, working_set_bytes=5 * 10**5, threads=32
+        )
+        assert sum(stack.values()) == pytest.approx(1.0)
+        assert set(stack) == {"dram-stall", "branch-stall", "other-stalls", "no-stall"}
+
+    def test_dram_dominates_on_large_working_sets(self, counters):
+        """Fig. 2 right: DRAM stalls dominate for wiki-talk-class runs."""
+        c, _ = counters
+        stack = CpuModel(CpuSpec().scaled_llc(0.001)).cpi_stack(
+            c, working_set_bytes=5 * 10**5, threads=32
+        )
+        assert stack["dram-stall"] > 0.5
+        assert stack["dram-stall"] > stack["branch-stall"]
+        assert stack["branch-stall"] > stack["no-stall"] * 0.2

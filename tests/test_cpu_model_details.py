@@ -1,0 +1,104 @@
+"""Deeper unit tests for the CPU model's individual mechanisms."""
+
+import pytest
+
+from repro.baselines.cpu_model import CpuModel, CpuSpec
+from repro.mining.results import SearchCounters
+
+
+def synthetic_counters(scale: int = 1000) -> SearchCounters:
+    c = SearchCounters()
+    c.candidates_scanned = 100 * scale
+    c.binary_searches = 10 * scale
+    c.binary_search_steps = 80 * scale
+    c.bookkeeps = 20 * scale
+    c.backtracks = 20 * scale
+    c.searches = 30 * scale
+    c.root_tasks = 10 * scale
+    return c
+
+
+class TestSerialComponents:
+    def test_components_scale_linearly_with_work(self):
+        m = CpuModel()
+        t1 = m.runtime(synthetic_counters(1), 10**8, 1)
+        t10 = m.runtime(synthetic_counters(10), 10**8, 1)
+        assert t10.compute_s == pytest.approx(10 * t1.compute_s)
+        assert t10.memory_s == pytest.approx(10 * t1.memory_s)
+        assert t10.branch_s == pytest.approx(10 * t1.branch_s)
+
+    def test_memory_grows_with_working_set(self):
+        m = CpuModel()
+        c = synthetic_counters()
+        small = m.runtime(c, 10**6, 1).memory_s
+        large = m.runtime(c, 10**10, 1).memory_s
+        assert large > small
+
+    def test_branch_cost_uses_spec(self):
+        c = synthetic_counters()
+        base = CpuModel(CpuSpec()).runtime(c, 10**8, 1).branch_s
+        hot = CpuModel(
+            CpuSpec(branch_mispredict_rate=0.5)
+        ).runtime(c, 10**8, 1).branch_s
+        assert hot > base
+
+
+class TestThreading:
+    def test_smt_region_helps_less(self):
+        """Beyond physical cores, extra threads yield diminishing returns."""
+        m = CpuModel()
+        c = synthetic_counters(100)
+        spec = m.spec
+        t_at_cores = m.runtime(c, 10**10, spec.physical_cores)
+        t_smt = m.runtime(c, 10**10, spec.physical_cores * 2)
+        # Compute time shrinks, but by less than 2x.
+        assert t_smt.compute_s < t_at_cores.compute_s
+        assert t_smt.compute_s > t_at_cores.compute_s / 2
+
+    def test_latency_inflation_throttles_scaling(self):
+        c = synthetic_counters(100)
+        no_inflation = CpuModel(
+            CpuSpec(latency_inflation_per_64_threads=0.0)
+        ).runtime(c, 10**10, 64)
+        inflated = CpuModel(
+            CpuSpec(latency_inflation_per_64_threads=2.0)
+        ).runtime(c, 10**10, 64)
+        assert inflated.memory_s > no_inflation.memory_s
+
+    def test_bandwidth_floor_binds_with_low_peak_bw(self):
+        """With a tiny bandwidth roofline, memory time stops scaling."""
+        m = CpuModel(
+            CpuSpec(latency_inflation_per_64_threads=0.0, peak_bw_gbps=1.0)
+        )
+        c = synthetic_counters(1000)
+        ws = 10**10
+        t128 = m.runtime(c, ws, 128).memory_s
+        t256 = m.runtime(c, ws, 256).memory_s
+        assert t256 == pytest.approx(t128)
+
+    def test_overhead_linear_in_threads(self):
+        m = CpuModel()
+        c = synthetic_counters()
+        t8 = m.runtime(c, 10**8, 8)
+        t64 = m.runtime(c, 10**8, 64)
+        assert t64.overhead_s == pytest.approx(8 * t8.overhead_s)
+
+
+class TestStallFractions:
+    def test_empty_run(self):
+        m = CpuModel()
+        t = m.runtime(SearchCounters(), 10**8, 1)
+        fr = t.stall_fractions()
+        assert fr["dram-stall"] == 0.0
+
+    def test_fractions_are_probabilities(self):
+        m = CpuModel()
+        fr = m.runtime(synthetic_counters(), 10**9, 32).stall_fractions()
+        for v in fr.values():
+            assert 0.0 <= v <= 1.0
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_other_stalls_fixed_residual(self):
+        m = CpuModel()
+        fr = m.runtime(synthetic_counters(), 10**9, 32).stall_fractions()
+        assert fr["other-stalls"] == pytest.approx(0.026)

@@ -1,0 +1,74 @@
+"""Tests for the edge-sampling approximate estimator."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.edge_sampling import EdgeSamplingEstimator
+from repro.mining.mackey import count_motifs
+from repro.mining.presto import PrestoEstimator
+from repro.motifs.catalog import M1, PING_PONG
+
+
+class TestValidation:
+    def test_p_bounds(self, tiny_graph):
+        with pytest.raises(ValueError):
+            EdgeSamplingEstimator(tiny_graph, M1, 10, p=0.0)
+        with pytest.raises(ValueError):
+            EdgeSamplingEstimator(tiny_graph, M1, 10, p=1.5)
+
+    def test_empty_graph(self):
+        with pytest.raises(ValueError):
+            EdgeSamplingEstimator(TemporalGraph([], num_nodes=2), M1, 10)
+
+    def test_trials_positive(self, tiny_graph):
+        est = EdgeSamplingEstimator(tiny_graph, M1, 25)
+        with pytest.raises(ValueError):
+            est.estimate(0)
+
+
+class TestEstimation:
+    def test_p_one_is_exact(self, burst_graph):
+        est = EdgeSamplingEstimator(burst_graph, PING_PONG, 8, p=1.0, seed=1)
+        result = est.estimate(3)
+        exact = count_motifs(burst_graph, PING_PONG, 8)
+        assert result.estimate == exact
+        assert result.std_error == 0.0
+
+    def test_deterministic(self):
+        g = make_dataset("email-eu", scale=0.08, seed=3)
+        delta = g.time_span // 40
+        a = EdgeSamplingEstimator(g, M1, delta, p=0.6, seed=5).estimate(8)
+        b = EdgeSamplingEstimator(g, M1, delta, p=0.6, seed=5).estimate(8)
+        assert a.per_trial == b.per_trial
+
+    def test_unbiased_convergence(self):
+        g = make_dataset("email-eu", scale=0.12, seed=9)
+        delta = g.time_span // 30
+        exact = count_motifs(g, PING_PONG, delta)
+        assert exact > 0
+        est = EdgeSamplingEstimator(g, PING_PONG, delta, p=0.7, seed=0).estimate(150)
+        # Within ~4 standard errors of the truth.
+        assert abs(est.estimate - exact) < 4 * est.std_error + 1e-9
+
+    def test_relative_std_error(self, tiny_graph):
+        est = EdgeSamplingEstimator(tiny_graph, M1, 25, p=0.9, seed=0).estimate(30)
+        if est.estimate > 0:
+            assert est.relative_std_error() > 0
+        else:
+            assert est.relative_std_error() == math.inf
+
+    def test_smaller_p_larger_variance(self):
+        g = make_dataset("email-eu", scale=0.12, seed=9)
+        delta = g.time_span // 30
+        hi_p = EdgeSamplingEstimator(g, M1, delta, p=0.8, seed=2).estimate(40)
+        lo_p = EdgeSamplingEstimator(g, M1, delta, p=0.3, seed=2).estimate(40)
+        assert lo_p.std_error > hi_p.std_error
+
+    def test_counters_accumulate(self):
+        g = make_dataset("email-eu", scale=0.08, seed=3)
+        delta = g.time_span // 40
+        est = EdgeSamplingEstimator(g, M1, delta, p=0.5, seed=1).estimate(5)
+        assert est.counters.root_tasks > 0

@@ -1,0 +1,119 @@
+"""Smoke tests for the experiment harness (every table/figure runner).
+
+These run at TEST_POLICY scale — tiny graphs — and verify structure and
+basic qualitative properties rather than the full-scale shapes, which the
+benchmark suite reproduces.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.motifs.catalog import M1, M2
+from repro.sim.config import MintConfig
+
+POLICY = ex.TEST_POLICY
+
+
+class TestWorkloadConstruction:
+    def test_build_workload(self):
+        w = ex.build_workload("email-eu", POLICY)
+        assert w.graph.num_edges > 0
+        assert w.delta >= 1
+        assert 0 < w.ws_ratio <= 1
+        assert w.window_edges <= POLICY.window_edges_cap
+
+    def test_delta_targets_window_density(self):
+        w = ex.build_workload("wiki-talk", POLICY)
+        k_eff = w.graph.num_edges * w.delta / max(1, w.graph.time_span)
+        assert k_eff == pytest.approx(w.window_edges, rel=0.1)
+
+    def test_scaled_configs(self):
+        w = ex.build_workload("stackoverflow", POLICY)
+        cfg = ex.scaled_mint_config(w, POLICY)
+        assert cfg.cache.total_bytes < MintConfig().cache.total_bytes
+        assert cfg.cache.num_banks == 64
+        cpu = ex.scaled_cpu_model(w)
+        assert cpu.spec.llc_bytes < 512 * 1024 * 1024
+
+    def test_cache_scale_multiplier(self):
+        w = ex.build_workload("wiki-talk", POLICY)
+        c1 = ex.scaled_mint_config(w, POLICY, cache_scale=1.0)
+        c4 = ex.scaled_mint_config(w, POLICY, cache_scale=4.0)
+        assert c4.cache.total_bytes > c1.cache.total_bytes
+
+    def test_paper_window_edges(self):
+        k_so = ex.paper_window_edges(ex.dataset_spec("stackoverflow"))
+        k_em = ex.paper_window_edges(ex.dataset_spec("email-eu"))
+        assert k_so > 100  # stackoverflow: ~540 edges/hour
+        assert 5 < k_em < 30
+
+
+class TestRunners:
+    def test_table1(self):
+        res = ex.run_table1(POLICY)
+        assert len(res.rows) == 6
+        assert "email-eu" in res.table()
+
+    def test_table2(self):
+        out = ex.run_table2()
+        assert "512x" in out
+        assert "204.8" in out
+
+    def test_fig2(self):
+        res = ex.run_fig2(POLICY, datasets=("email-eu", "wiki-talk"))
+        assert set(res.scaling) == {"em", "wt"}
+        for curve in res.scaling.values():
+            assert curve[0][1] == pytest.approx(1.0)  # normalized to 1 thread
+        assert sum(res.cpi_stack.values()) == pytest.approx(1.0)
+        assert "CPI stack" in res.table()
+
+    def test_fig7(self):
+        res = ex.run_fig7(POLICY, datasets=("wiki-talk",))
+        assert len(res.series) == 2
+        assert "m1_wt_node1" in res.series
+
+    def test_fig10(self):
+        res = ex.run_fig10(POLICY, datasets=("email-eu",), motifs=(M1,))
+        assert len(res.rows) == 1
+        row = res.rows[0]
+        assert row.speedup_memo > 0
+        assert row.traffic_reduction > 0
+        assert "geomean" in res.table()
+
+    def test_fig11(self):
+        res = ex.run_fig11(POLICY, datasets=("email-eu",), motifs=(M1, M2))
+        assert len(res.rows) == 2
+        g = res.geomeans()
+        assert g["vs Mackey CPU"] > 0
+        assert "vs Paranjape" in g  # M1/M2 support it
+        assert res.rows[0].vs_paranjape is not None
+
+    def test_fig11_skips_paranjape_for_m3_m4(self):
+        from repro.motifs.catalog import M3
+
+        res = ex.run_fig11(POLICY, datasets=("email-eu",), motifs=(M3,))
+        assert res.rows[0].vs_paranjape is None
+
+    def test_fig12(self):
+        res = ex.run_fig12(POLICY, datasets=("email-eu",), motifs=(M1,))
+        assert len(res.rows) == 1
+        assert res.rows[0].static_to_temporal_ratio >= 0
+        assert "FlexMiner" in res.table()
+
+    def test_fig13(self):
+        res = ex.run_fig13(
+            POLICY,
+            dataset="email-eu",
+            pe_counts=(1, 8),
+            cache_scales=(1.0, 2.0),
+        )
+        assert len(res.cells) == 4
+        grid = res.grid("speedup")
+        assert grid[(1, 1.0)] == pytest.approx(1.0)
+        # More PEs at the same cache must not be slower.
+        assert grid[(8, 1.0)] >= grid[(1, 1.0)] * 0.9
+
+    def test_fig14(self):
+        out = ex.run_fig14()
+        assert "28.3" in out
+        assert "Context Mem" in out

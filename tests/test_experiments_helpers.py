@@ -1,0 +1,108 @@
+"""Unit tests for the experiment helpers and result dataclasses."""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.motifs.catalog import M1, M2
+
+POLICY = ex.ScalePolicy(scale=0.04, num_pes=16, presto_samples=4)
+
+
+class TestWorkloadEvaluation:
+    @pytest.fixture(scope="class")
+    def ev(self):
+        return ex.evaluate_workload("email-eu", M1, POLICY)
+
+    def test_speedups_positive(self, ev):
+        assert ev.speedup_vs_cpu > 0
+        assert ev.speedup_vs_cpu_memo > 0
+        assert ev.speedup_vs_gpu > 0
+        assert ev.memo_gain > 0
+        assert ev.traffic_reduction > 0
+
+    def test_mint_time_is_memoized_sim(self, ev):
+        assert ev.mint_s == ev.sim_memo.seconds
+
+    def test_counts_consistent(self, ev):
+        assert ev.sim_memo.matches == ev.matches
+        assert ev.sim_plain.matches == ev.matches
+        assert ev.mackey_counters.matches == ev.matches
+
+    def test_cache_returns_same_object(self):
+        a = ex.evaluate_workload("email-eu", M1, POLICY)
+        b = ex.evaluate_workload("email-eu", M1, POLICY)
+        assert a is b
+
+    def test_cache_distinguishes_policies(self):
+        other = ex.ScalePolicy(scale=0.05, num_pes=16, presto_samples=4)
+        a = ex.evaluate_workload("email-eu", M1, POLICY)
+        b = ex.evaluate_workload("email-eu", M1, other)
+        assert a is not b
+
+
+class TestTimeHelpers:
+    def test_presto_time_positive(self):
+        w = ex.build_workload("email-eu", POLICY)
+        cpu = ex.scaled_cpu_model(w)
+        seconds, err = ex._presto_time_s(w, M1, POLICY, cpu)
+        assert seconds > 0
+        assert err >= 0
+
+    def test_paranjape_time_positive(self):
+        w = ex.build_workload("email-eu", POLICY)
+        cpu = ex.scaled_cpu_model(w)
+        assert ex._paranjape_time_s(w, M1, POLICY, cpu) > 0
+
+    def test_paranjape_extrapolation_scales_up(self):
+        """A tight budget must extrapolate to at least the budgeted cost."""
+        w = ex.build_workload("email-eu", POLICY)
+        cpu = ex.scaled_cpu_model(w)
+        import dataclasses
+
+        tight = dataclasses.replace(POLICY, paranjape_budget=3)
+        full_t = ex._paranjape_time_s(w, M1, POLICY, cpu)
+        tight_t = ex._paranjape_time_s(w, M1, tight, cpu)
+        # Extrapolated estimate is in the right ballpark of the full run.
+        assert tight_t == pytest.approx(full_t, rel=3.0)
+
+
+class TestResultDataclasses:
+    def test_fig10_geomeans(self):
+        res = ex.run_fig10(POLICY, datasets=("email-eu",), motifs=(M1, M2))
+        assert res.geomean_speedup_memo() > 0
+        assert res.geomean_memo_gain() > 0
+        table = res.table()
+        assert "geomean" in table and "M2" in table
+
+    def test_fig11_table_renders_missing_paranjape(self):
+        from repro.motifs.catalog import M4
+
+        res = ex.run_fig11(POLICY, datasets=("email-eu",), motifs=(M4,))
+        assert res.rows[0].vs_paranjape is None
+        assert "-" in res.table()
+
+    def test_fig13_grid_accessor(self):
+        res = ex.run_fig13(
+            POLICY, dataset="email-eu", pe_counts=(1, 4), cache_scales=(1.0,)
+        )
+        grid = res.grid("bandwidth_pct")
+        assert set(grid) == {(1, 1.0), (4, 1.0)}
+
+    def test_table1_rows_render(self):
+        res = ex.run_table1(POLICY)
+        assert len(res.table().splitlines()) == 8  # header + sep + 6 rows
+
+
+class TestScaledConfigs:
+    def test_large_dataset_gets_relatively_smaller_cache(self):
+        em = ex.build_workload("email-eu", POLICY)
+        so = ex.build_workload("stackoverflow", POLICY)
+        c_em = ex.scaled_mint_config(em, POLICY)
+        c_so = ex.scaled_mint_config(so, POLICY)
+        ratio_em = em.working_set_bytes / c_em.cache.total_bytes
+        ratio_so = so.working_set_bytes / c_so.cache.total_bytes
+        assert ratio_so > ratio_em  # stackoverflow spills harder
+
+    def test_memoize_flag_passthrough(self):
+        w = ex.build_workload("email-eu", POLICY)
+        assert ex.scaled_mint_config(w, POLICY, memoize=False).memoize is False

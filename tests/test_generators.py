@@ -1,0 +1,98 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    DATASET_NAMES,
+    dataset_spec,
+    make_dataset,
+    synthesize,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = make_dataset("email-eu", scale=0.1, seed=42)
+        b = make_dataset("email-eu", scale=0.1, seed=42)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+        assert np.array_equal(a.ts, b.ts)
+
+    def test_different_seed_different_graph(self):
+        a = make_dataset("email-eu", scale=0.1, seed=1)
+        b = make_dataset("email-eu", scale=0.1, seed=2)
+        assert not (
+            np.array_equal(a.src, b.src) and np.array_equal(a.ts, b.ts)
+        )
+
+
+class TestShape:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_sizes_scale(self, name):
+        spec = dataset_spec(name)
+        g = make_dataset(name, scale=0.1, seed=0)
+        assert g.num_edges == pytest.approx(spec.base_edges * 0.1, rel=0.05)
+        assert g.num_nodes <= spec.base_nodes * 0.1 + 8
+
+    def test_relative_ordering_preserved(self):
+        sizes = [make_dataset(n, scale=0.05, seed=0).num_edges for n in DATASET_NAMES]
+        assert sizes[0] == min(sizes)  # email-eu smallest
+        assert sizes[-1] == max(sizes)  # stackoverflow largest
+
+    def test_no_self_loops(self):
+        g = make_dataset("wiki-talk", scale=0.1, seed=0)
+        assert not np.any(g.src == g.dst)
+
+    def test_timestamps_within_span(self):
+        spec = dataset_spec("email-eu")
+        g = make_dataset("email-eu", scale=0.1, seed=0)
+        assert g.time_span <= spec.span_days * 86_400 + g.num_edges
+
+    def test_heavy_tail_on_wiki_talk(self):
+        """wiki-talk must have markedly heavier hubs than ask-ubuntu
+        (paper §VIII-A), which is what makes memoization pay off."""
+        wt = make_dataset("wiki-talk", scale=0.3, seed=0)
+        ub = make_dataset("ask-ubuntu", scale=0.3, seed=0)
+        wt_deg = np.sort(np.diff(wt.out_offsets))[::-1]
+        ub_deg = np.sort(np.diff(ub.out_offsets))[::-1]
+        # The paper reports absolute top-neighborhood sizes 2.6x-38.6x
+        # larger on wiki-talk/stackoverflow than on the small datasets.
+        assert wt_deg[:5].mean() > 2 * ub_deg[:5].mean()
+
+    def test_burstiness(self):
+        """Inter-arrival gaps must be far more skewed than uniform."""
+        g = make_dataset("email-eu", scale=0.5, seed=0)
+        gaps = np.diff(g.ts)
+        assert np.median(gaps) < np.mean(gaps) * 0.5
+
+    def test_cycles_exist(self):
+        """The cascade/close structure must produce temporal 3-cycles."""
+        from repro.mining.mackey import count_motifs
+        from repro.motifs.catalog import M1
+
+        g = make_dataset("email-eu", scale=0.3, seed=0)
+        assert count_motifs(g, M1, g.time_span // 100) > 0
+
+
+class TestSpecLookup:
+    def test_lookup_by_abbrev(self):
+        assert dataset_spec("wt").name == "wiki-talk"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            synthesize(dataset_spec("em"), scale=0)
+
+    def test_minimum_size_floor(self):
+        g = synthesize(dataset_spec("em"), scale=1e-6, seed=0)
+        assert g.num_edges >= 16
+        assert g.num_nodes >= 8
+
+    def test_paper_sizes_recorded(self):
+        spec = dataset_spec("stackoverflow")
+        assert spec.paper_edges == 36_200_000
+        assert spec.paper_span_days == 2_774

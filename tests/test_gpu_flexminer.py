@@ -1,0 +1,69 @@
+"""Tests for the GPU and FlexMiner baseline models."""
+
+import pytest
+
+from repro.baselines.cpu_model import CpuModel, CpuSpec
+from repro.baselines.flexminer import FLEXMINER_SPEEDUP, FlexMinerModel
+from repro.baselines.gpu_model import GpuModel, GpuSpec
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.catalog import M1, M4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_dataset("wiki-talk", scale=0.12, seed=2)
+    counters = MackeyMiner(g, M1, g.time_span // 30).mine().counters
+    return g, counters
+
+
+class TestGpuModel:
+    def test_positive_runtime(self, workload):
+        _, c = workload
+        assert GpuModel().runtime_s(c, 10**8) > 0
+
+    def test_gpu_faster_than_best_cpu(self, workload):
+        """Fig. 11: the GPU port beats the CPU baselines."""
+        _, c = workload
+        ws = 10**8
+        gpu_s = GpuModel().runtime_s(c, ws)
+        cpu_s = CpuModel(CpuSpec().scaled_llc(0.01)).best_runtime(c, ws).total_s
+        assert gpu_s < cpu_s
+
+    def test_kernel_overhead_floor(self):
+        from repro.mining.results import SearchCounters
+
+        empty = SearchCounters()
+        assert GpuModel().runtime_s(empty, 0) == pytest.approx(
+            GpuSpec().kernel_overhead_s
+        )
+
+    def test_more_work_more_time(self, workload):
+        _, c = workload
+        import copy
+
+        double = copy.deepcopy(c)
+        double.candidates_scanned *= 4
+        double.bookkeeps *= 4
+        assert GpuModel().runtime_s(double, 10**8) > GpuModel().runtime_s(c, 10**8)
+
+
+class TestFlexMinerModel:
+    def test_evaluate(self, workload):
+        g, _ = workload
+        res = FlexMinerModel().evaluate(g, M1, working_set_bytes=10**7)
+        assert res.static_embeddings >= 0
+        assert res.graphpi_cpu_s > 0
+        assert res.flexminer_s == pytest.approx(
+            res.graphpi_cpu_s / FLEXMINER_SPEEDUP
+        )
+
+    def test_static_embeddings_match_enumeration(self):
+        from repro.mining.static_mining import count_static_embeddings
+
+        g = make_dataset("email-eu", scale=0.05, seed=4)
+        res = FlexMinerModel().evaluate(g, M1, 10**6)
+        assert res.static_embeddings == count_static_embeddings(g, M1)
+
+    def test_speedup_constant_matches_paper(self):
+        assert FLEXMINER_SPEEDUP == 40.0

@@ -1,0 +1,60 @@
+"""Tests for SNAP text loading/saving."""
+
+import gzip
+
+import pytest
+
+from repro.graph.loaders import load_snap_text, save_snap_text
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path, burst_graph):
+        path = tmp_path / "g.txt"
+        save_snap_text(burst_graph, path)
+        loaded = load_snap_text(path)
+        assert [e.as_tuple() for e in loaded.edges()] == [
+            e.as_tuple() for e in burst_graph.edges()
+        ]
+
+    def test_gzip_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt.gz"
+        save_snap_text(tiny_graph, path)
+        loaded = load_snap_text(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% another\n0 1 10\n1 2 20\n")
+        g = load_snap_text(path)
+        assert g.num_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10 weight=3\n")
+        assert load_snap_text(path).num_edges == 1
+
+    def test_float_timestamps_truncated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10.7\n")
+        assert load_snap_text(path).edge(0).t == 10
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_snap_text(path)
+
+    def test_num_nodes_override(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10\n")
+        g = load_snap_text(path, num_nodes=5)
+        assert g.num_nodes == 5
+
+    def test_unsorted_input_gets_sorted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 30\n1 2 10\n")
+        g = load_snap_text(path)
+        assert g.edge(0).t == 10

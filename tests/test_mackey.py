@@ -1,0 +1,188 @@
+"""Unit tests for the Mackey et al. exact miner (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.bruteforce import brute_force_count, brute_force_matches
+from repro.mining.mackey import MackeyMiner, count_motifs
+from repro.motifs.catalog import (
+    EVALUATION_MOTIFS,
+    FAN_IN,
+    M1,
+    M2,
+    PATH3,
+    PING_PONG,
+    SINGLE_EDGE,
+    TWO_CYCLE_RETURN,
+)
+from repro.motifs.motif import Motif
+
+from conftest import random_temporal_graph
+
+
+class TestHandComputedCases:
+    """Cases derived from the paper's Fig. 1 walk-through example."""
+
+    def test_fig1_three_cycle_delta_25(self, tiny_graph):
+        # Edges 0->1@5, 1->2@10, 2->0@20 form the one valid 3-cycle.
+        assert count_motifs(tiny_graph, M1, delta=25) == 1
+
+    def test_fig1_delta_constraint_excludes_late_edge(self, tiny_graph):
+        # With delta=10 the cycle spans 15 time units: no match.
+        assert count_motifs(tiny_graph, M1, delta=10) == 0
+
+    def test_fig1_larger_delta_finds_second_cycle(self, tiny_graph):
+        # (1->2@10, 2->0@20, 0->1@40) spans 30.
+        assert count_motifs(tiny_graph, M1, delta=30) == 2
+
+    def test_single_edge_motif_counts_all_edges(self, tiny_graph):
+        assert count_motifs(tiny_graph, SINGLE_EDGE, delta=0) == 6
+
+    def test_chain_path3(self, chain_graph):
+        # (e0,e1,e2) and (e1,e2,e3): two shifted 3-paths along the chain.
+        assert count_motifs(chain_graph, PATH3, delta=100) == 2
+
+    def test_chain_path3_window_too_small(self, chain_graph):
+        # Each 3-path spans exactly 20 time units.
+        assert count_motifs(chain_graph, PATH3, delta=19) == 0
+        assert count_motifs(chain_graph, PATH3, delta=20) == 2
+
+    def test_ping_pong(self, burst_graph):
+        # Strictly increasing 0->1 then 1->0 pairs within delta=5:
+        # (t1,t2),(t3,t4) and (t3,t4 via other?) enumerated by oracle.
+        expected = brute_force_count(burst_graph, PING_PONG, 5)
+        assert count_motifs(burst_graph, PING_PONG, 5) == expected
+        assert expected > 0
+
+    def test_repeated_pair_motif(self, burst_graph):
+        expected = brute_force_count(burst_graph, TWO_CYCLE_RETURN, 8)
+        assert count_motifs(burst_graph, TWO_CYCLE_RETURN, 8) == expected
+
+    def test_fan_in(self):
+        g = TemporalGraph([(1, 0, 1), (2, 0, 2), (3, 0, 3), (4, 0, 4)])
+        # Choose 3 of 4 in-order sources: C(4,3) = 4 ordered subsets.
+        assert count_motifs(g, FAN_IN, delta=10) == 4
+
+    def test_delta_window_is_inclusive(self):
+        g = TemporalGraph([(0, 1, 0), (1, 2, 10)])
+        m = Motif([(0, 1), (1, 2)])
+        assert count_motifs(g, m, delta=10) == 1
+        assert count_motifs(g, m, delta=9) == 0
+
+    def test_injectivity_required(self):
+        # a->b then b->a cannot match PATH3's three distinct nodes... but
+        # A->B, B->C with C==A would need node reuse: rejected.
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        m = Motif([(0, 1), (1, 2)])
+        assert count_motifs(g, m, delta=10) == 0
+
+    def test_graph_self_loops_never_match(self):
+        g = TemporalGraph([(0, 0, 1), (0, 1, 2), (1, 1, 3)])
+        assert count_motifs(g, SINGLE_EDGE, delta=10) == 1
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("motif", [M1, M2, PING_PONG, PATH3])
+    def test_random_graphs(self, seed, motif):
+        rng = random.Random(seed)
+        g = random_temporal_graph(rng, num_nodes=8, num_edges=40, time_range=60)
+        delta = rng.randrange(5, 40)
+        assert count_motifs(g, motif, delta) == brute_force_count(g, motif, delta)
+
+    @pytest.mark.parametrize("name", ["email-eu", "wiki-talk"])
+    def test_synthetic_datasets(self, name):
+        g = make_dataset(name, scale=0.04, seed=3)
+        delta = g.time_span // 50
+        for motif in EVALUATION_MOTIFS:
+            assert count_motifs(g, motif, delta) == brute_force_count(
+                g, motif, delta
+            ), motif.name
+
+
+class TestMatchRecords:
+    def test_recorded_matches_are_valid(self, tiny_graph):
+        result = MackeyMiner(tiny_graph, M1, 30, record_matches=True).mine()
+        assert result.matches is not None
+        assert len(result.matches) == result.count
+        for match in result.matches:
+            # Strictly increasing edge indices within the delta window.
+            idx = list(match.edge_indices)
+            assert idx == sorted(set(idx))
+            times = [tiny_graph.time(i) for i in idx]
+            assert times[-1] - times[0] <= 30
+            # Node map consistent with the motif edges.
+            for level, e in enumerate(idx):
+                u_m, v_m = M1.edge(level)
+                edge = tiny_graph.edge(e)
+                assert match.node_map[u_m] == edge.src
+                assert match.node_map[v_m] == edge.dst
+
+    def test_matches_agree_with_bruteforce(self, tiny_graph):
+        got = MackeyMiner(tiny_graph, M1, 30, record_matches=True).mine()
+        expected = brute_force_matches(tiny_graph, M1, 30)
+        assert sorted(m.edge_indices for m in got.matches) == sorted(
+            m.edge_indices for m in expected
+        )
+
+    def test_max_matches_truncation_drops_match_list(self, burst_graph):
+        result = MackeyMiner(
+            burst_graph, PING_PONG, 8, record_matches=True, max_matches=1
+        ).mine()
+        assert result.matches is None  # truncated lists are not returned
+        assert result.count >= 1
+
+
+class TestCounters:
+    def test_counters_populated(self, tiny_graph):
+        result = MackeyMiner(tiny_graph, M1, 25).mine()
+        c = result.counters
+        assert c.root_tasks == tiny_graph.num_edges
+        assert c.matches == result.count == 1
+        assert c.bookkeeps > 0
+        assert c.backtracks > 0
+        assert c.candidates_scanned > 0
+        assert c.bytes_touched > 0
+
+    def test_counter_dict_roundtrip(self, tiny_graph):
+        c = MackeyMiner(tiny_graph, M1, 25).mine().counters
+        d = c.as_dict()
+        assert d["matches"] == 1
+        assert set(d) >= {"searches", "candidates_scanned", "bookkeeps"}
+
+    def test_negative_delta_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MackeyMiner(tiny_graph, M1, -1)
+
+    def test_utilization_probe_called(self, tiny_graph):
+        calls = []
+        MackeyMiner(
+            tiny_graph,
+            M1,
+            25,
+            utilization_probe=lambda n, d, u, t: calls.append((n, d, u, t)),
+        ).mine()
+        assert calls
+        for _, direction, useful, total in calls:
+            assert direction in ("out", "in")
+            assert 0 <= useful <= total
+
+
+class TestMaxMatchesSemantics:
+    def test_untruncated_list_is_returned(self, tiny_graph):
+        result = MackeyMiner(
+            tiny_graph, M1, 30, record_matches=True, max_matches=100
+        ).mine()
+        assert result.matches is not None
+        assert len(result.matches) == result.count == 2
+
+    def test_truncated_list_is_dropped_but_count_exact(self, burst_graph):
+        full = MackeyMiner(burst_graph, PING_PONG, 8).mine().count
+        result = MackeyMiner(
+            burst_graph, PING_PONG, 8, record_matches=True, max_matches=1
+        ).mine()
+        assert result.count == full
+        assert result.matches is None

@@ -1,0 +1,91 @@
+"""Tests for search index memoization (paper §VI-A)."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.catalog import EVALUATION_MOTIFS, M1
+from repro.sim.accelerator import MintSimulator
+from repro.sim.config import MintConfig
+
+from conftest import random_temporal_graph
+
+
+class TestSoftwareMemoization:
+    @pytest.mark.parametrize("motif", EVALUATION_MOTIFS)
+    def test_memoization_never_changes_counts(self, motif):
+        g = make_dataset("wiki-talk", scale=0.03, seed=5)
+        delta = g.time_span // 30
+        plain = MackeyMiner(g, motif, delta).mine()
+        memo = MackeyMiner(g, motif, delta, memoize=True).mine()
+        assert plain.count == memo.count
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_memoization_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_temporal_graph(rng, num_nodes=9, num_edges=60, time_range=80)
+        delta = rng.randrange(10, 50)
+        assert (
+            MackeyMiner(g, M1, delta).mine().count
+            == MackeyMiner(g, M1, delta, memoize=True).mine().count
+        )
+
+    def test_memoized_run_pays_extra_searches(self):
+        g = make_dataset("email-eu", scale=0.05, seed=5)
+        delta = g.time_span // 30
+        plain = MackeyMiner(g, M1, delta).mine()
+        memo = MackeyMiner(g, M1, delta, memoize=True).mine()
+        # The paper's software experiment: memoization triggers an
+        # additional (refresh) search.
+        assert memo.counters.binary_searches > plain.counters.binary_searches
+        # But candidates scanned are identical — same algorithm.
+        assert memo.counters.candidates_scanned == plain.counters.candidates_scanned
+
+
+class TestHardwareMemoization:
+    def _run(self, memoize, per_tree_cache=True, seed=5):
+        g = make_dataset("wiki-talk", scale=0.05, seed=seed)
+        delta = g.time_span // 30
+        cfg = MintConfig(
+            num_pes=32, memoize=memoize, per_tree_index_cache=per_tree_cache
+        ).with_cache_mb(0.0625)
+        return g, delta, MintSimulator(g, M1, delta, cfg).run()
+
+    def test_memoization_preserves_sim_counts(self):
+        g, delta, with_memo = self._run(True)
+        _, _, without = self._run(False)
+        expected = MackeyMiner(g, M1, delta).mine().count
+        assert with_memo.matches == without.matches == expected
+
+    def test_memoization_reduces_streamed_items(self):
+        # Disable the per-tree cache to isolate the pure §VI-A effect.
+        _, _, with_memo = self._run(True, per_tree_cache=False)
+        _, _, without = self._run(False, per_tree_cache=False)
+        assert (
+            with_memo.walk.index_items_streamed < without.walk.index_items_streamed
+        )
+        assert with_memo.walk.index_items_skipped_by_memo > 0
+        assert without.walk.index_items_skipped_by_memo == 0
+
+    def test_memo_table_accesses_happen_only_when_enabled(self):
+        _, _, with_memo = self._run(True)
+        _, _, without = self._run(False)
+        assert with_memo.walk.memo_reads > 0
+        assert with_memo.walk.memo_writes > 0
+        assert without.walk.memo_reads == 0
+        assert without.walk.memo_writes == 0
+
+    def test_per_tree_cache_preserves_counts(self):
+        _, _, with_cache = self._run(True, per_tree_cache=True)
+        _, _, without_cache = self._run(True, per_tree_cache=False)
+        assert with_cache.matches == without_cache.matches
+
+    def test_per_tree_cache_reduces_streaming(self):
+        _, _, with_cache = self._run(True, per_tree_cache=True)
+        _, _, without_cache = self._run(True, per_tree_cache=False)
+        assert (
+            with_cache.walk.index_items_streamed
+            <= without_cache.walk.index_items_streamed
+        )

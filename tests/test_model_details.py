@@ -1,0 +1,89 @@
+"""Detail tests for the GPU model, FlexMiner counter mapping and stats."""
+
+import copy
+
+import pytest
+
+from repro.baselines.flexminer import FlexMinerModel, _MATERIALIZE_CAP
+from repro.baselines.gpu_model import GpuModel, GpuSpec
+from repro.mining.results import Match, MiningResult, SearchCounters
+from repro.mining.static_counts import StaticCountResult
+
+
+def gpu_counters() -> SearchCounters:
+    c = SearchCounters()
+    c.candidates_scanned = 100_000
+    c.binary_search_steps = 50_000
+    c.bookkeeps = 20_000
+    c.backtracks = 20_000
+    return c
+
+
+class TestGpuModel:
+    def test_divergence_slows_kernel(self):
+        c = gpu_counters()
+        efficient = GpuModel(GpuSpec(divergence_efficiency=0.9)).runtime_s(c, 1)
+        divergent = GpuModel(GpuSpec(divergence_efficiency=0.05)).runtime_s(c, 1)
+        assert divergent > efficient
+
+    def test_bandwidth_bound_with_wasteful_loads(self):
+        c = gpu_counters()
+        c.candidates_scanned *= 1000
+        spec = GpuSpec(bytes_per_irregular_load=32.0)
+        narrow = GpuModel(GpuSpec(bytes_per_irregular_load=64.0)).runtime_s(c, 1)
+        wide = GpuModel(spec).runtime_s(c, 1)
+        assert narrow >= wide
+
+    def test_runtime_monotone_in_latency(self):
+        c = gpu_counters()
+        fast = GpuModel(GpuSpec(effective_latency_ns=1.0)).runtime_s(c, 1)
+        slow = GpuModel(GpuSpec(effective_latency_ns=500.0)).runtime_s(c, 1)
+        assert slow >= fast
+
+    def test_overhead_added_once(self):
+        spec = GpuSpec(kernel_overhead_s=1.0)
+        c = gpu_counters()
+        assert GpuModel(spec).runtime_s(c, 1) > 1.0
+
+
+class TestFlexMinerCounterMapping:
+    def test_materialization_cap_applied(self):
+        static = StaticCountResult(
+            count=10 * _MATERIALIZE_CAP, intersections=5, set_items_touched=100
+        )
+        c = FlexMinerModel._to_search_counters(static)
+        assert c.bookkeeps == _MATERIALIZE_CAP
+        assert c.matches == static.count
+
+    def test_set_work_mapped(self):
+        static = StaticCountResult(
+            count=10, intersections=7, set_items_touched=99
+        )
+        c = FlexMinerModel._to_search_counters(static)
+        assert c.candidates_scanned == 99
+        assert c.searches == 7
+
+
+class TestResultRecords:
+    def test_match_size(self):
+        m = Match(edge_indices=(1, 2, 3), node_map=(0, 1, 2))
+        assert m.size == 3
+
+    def test_mining_result_validates_match_count(self):
+        with pytest.raises(ValueError):
+            MiningResult(count=2, matches=[Match((0,), (0, 1))])
+
+    def test_counters_merge_all_fields(self):
+        a = SearchCounters()
+        b = SearchCounters()
+        for field in a.as_dict():
+            setattr(b, field, 3)
+        a.merge(b)
+        a.merge(b)
+        for field, value in a.as_dict().items():
+            assert value == 6, field
+
+    def test_counters_as_dict_roundtrip(self):
+        c = SearchCounters(searches=5, matches=2)
+        again = SearchCounters(**c.as_dict())
+        assert again.as_dict() == c.as_dict()

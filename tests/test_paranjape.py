@@ -1,0 +1,86 @@
+"""Tests for the Paranjape et al. static-first baseline."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import count_motifs
+from repro.mining.paranjape import ParanjapeMiner
+from repro.motifs.catalog import M1, M2, PATH3, PING_PONG, TWO_CYCLE_RETURN
+
+from conftest import random_temporal_graph
+
+
+class TestExactness:
+    @pytest.mark.parametrize("motif", [M1, M2, PING_PONG, PATH3])
+    def test_counts_match_mackey_on_dataset(self, motif):
+        g = make_dataset("mathoverflow", scale=0.08, seed=2)
+        delta = g.time_span // 40
+        assert ParanjapeMiner(g, motif, delta).count() == count_motifs(
+            g, motif, delta
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_counts_match_on_random_graphs(self, seed):
+        rng = random.Random(100 + seed)
+        g = random_temporal_graph(rng, num_nodes=7, num_edges=40, time_range=60)
+        delta = rng.randrange(5, 40)
+        motif = rng.choice([M1, M2, PING_PONG, PATH3])
+        assert ParanjapeMiner(g, motif, delta).count() == count_motifs(
+            g, motif, delta
+        )
+
+    def test_repeated_pair_motif(self, burst_graph):
+        """A motif that reuses a node pair maps one pair to two slots."""
+        assert ParanjapeMiner(burst_graph, TWO_CYCLE_RETURN, 8).count() == (
+            count_motifs(burst_graph, TWO_CYCLE_RETURN, 8)
+        )
+
+    def test_empty_graph(self):
+        g = TemporalGraph([], num_nodes=4)
+        assert ParanjapeMiner(g, M1, 10).count() == 0
+
+
+class TestPhases:
+    def test_counters_reflect_static_then_temporal(self, tiny_graph):
+        miner = ParanjapeMiner(tiny_graph, M1, 30)
+        count = miner.count()
+        assert count == 2
+        assert miner.counters.static_embeddings > 0
+        assert miner.counters.gathered_edges > 0
+
+    def test_redundant_work_when_static_exceeds_temporal(self):
+        """The baseline's weakness (Fig. 12): static embeddings exist even
+        when the temporal count is zero."""
+        # Triangle in the projection but edge order prevents any match.
+        g = TemporalGraph([(2, 0, 1), (1, 2, 2), (0, 1, 3)])
+        assert count_motifs(g, M1, 100) == 0
+        miner = ParanjapeMiner(g, M1, 100)
+        assert miner.count() == 0
+        # Three rotations of the static triangle were still enumerated.
+        assert miner.counters.static_embeddings == 3
+
+    def test_profile_complete_run(self, tiny_graph):
+        miner = ParanjapeMiner(tiny_graph, M1, 30)
+        counters, processed, complete = miner.profile()
+        assert complete
+        assert processed == miner.counters.static_embeddings
+
+    def test_profile_budgeted(self):
+        g = make_dataset("email-eu", scale=0.08, seed=4)
+        full = ParanjapeMiner(g, M1, g.time_span // 20)
+        _, total, complete_full = full.profile()
+        assert complete_full
+        if total < 2:
+            pytest.skip("graph too sparse for a budget test")
+        budgeted = ParanjapeMiner(g, M1, g.time_span // 20)
+        _, processed, complete = budgeted.profile(embedding_budget=total // 2)
+        assert not complete
+        assert processed == total // 2
+
+    def test_mine_wraps_result(self, tiny_graph):
+        res = ParanjapeMiner(tiny_graph, M1, 30).mine()
+        assert res.count == 2
+        assert res.counters.searches > 0

@@ -1,0 +1,77 @@
+"""Tests for the PRESTO-style approximate estimator."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import count_motifs
+from repro.mining.presto import PrestoEstimator
+from repro.motifs.catalog import M1, PING_PONG
+
+
+class TestValidation:
+    def test_c_must_exceed_one(self, tiny_graph):
+        with pytest.raises(ValueError):
+            PrestoEstimator(tiny_graph, M1, 10, c=1.0)
+
+    def test_empty_graph_rejected(self):
+        g = TemporalGraph([], num_nodes=2)
+        with pytest.raises(ValueError):
+            PrestoEstimator(g, M1, 10)
+
+    def test_sample_count_positive(self, tiny_graph):
+        est = PrestoEstimator(tiny_graph, M1, 10)
+        with pytest.raises(ValueError):
+            est.estimate(0)
+
+    def test_window_length(self, tiny_graph):
+        est = PrestoEstimator(tiny_graph, M1, delta=20, c=1.5)
+        assert est.window_length == 30
+
+
+class TestEstimation:
+    def test_deterministic_given_seed(self):
+        g = make_dataset("email-eu", scale=0.08, seed=1)
+        delta = g.time_span // 40
+        a = PrestoEstimator(g, M1, delta, seed=3).estimate(10)
+        b = PrestoEstimator(g, M1, delta, seed=3).estimate(10)
+        assert a.estimate == b.estimate
+        assert a.per_sample == b.per_sample
+
+    def test_different_seeds_differ(self):
+        g = make_dataset("email-eu", scale=0.08, seed=1)
+        delta = g.time_span // 40
+        a = PrestoEstimator(g, M1, delta, seed=3).estimate(12)
+        b = PrestoEstimator(g, M1, delta, seed=4).estimate(12)
+        assert a.per_sample != b.per_sample
+
+    def test_converges_to_exact_count(self):
+        """The estimator is unbiased: with many windows the mean should
+        land within a few standard errors of the exact count."""
+        g = make_dataset("email-eu", scale=0.12, seed=9)
+        delta = g.time_span // 30
+        exact = count_motifs(g, PING_PONG, delta)
+        assert exact > 0, "fixture graph must contain instances"
+        est = PrestoEstimator(g, PING_PONG, delta, c=1.5, seed=0).estimate(400)
+        assert est.estimate == pytest.approx(exact, rel=0.35)
+        # And the error is consistent with the reported standard error.
+        assert abs(est.estimate - exact) < 5 * est.std_error
+
+    def test_zero_when_no_instances(self):
+        g = TemporalGraph([(0, 1, 0), (0, 1, 1000), (0, 1, 2000)])
+        est = PrestoEstimator(g, M1, delta=10, seed=1).estimate(20)
+        assert est.estimate == 0.0
+        assert est.relative_std_error() == math.inf
+
+    def test_counters_accumulate_window_work(self):
+        g = make_dataset("email-eu", scale=0.08, seed=1)
+        delta = g.time_span // 40
+        est = PrestoEstimator(g, M1, delta, seed=0).estimate(10)
+        assert est.counters.root_tasks > 0
+
+    def test_single_sample_has_infinite_std_error(self, tiny_graph):
+        est = PrestoEstimator(tiny_graph, M1, 25, seed=0).estimate(1)
+        assert est.std_error == math.inf
+        assert est.num_samples == 1

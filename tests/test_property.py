@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The central property: every miner in the library — Mackey (with and
+without memoization), the task-centric engine, Paranjape, and the Mint
+simulator's functional walker — computes the same count as the
+brute-force oracle, on arbitrary temporal graphs and windows.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.bruteforce import brute_force_count
+from repro.mining.mackey import MackeyMiner, count_motifs
+from repro.mining.paranjape import ParanjapeMiner
+from repro.mining.taskcentric import TaskCentricMiner
+from repro.motifs.catalog import M1, M2, PATH3, PING_PONG
+from repro.motifs.motif import Motif
+from repro.sim.layout import GraphMemoryLayout
+from repro.sim.walker import TraceWalker
+
+MOTIFS = [M1, M2, PING_PONG, PATH3]
+
+
+@st.composite
+def temporal_graphs(draw, max_nodes=7, max_edges=28, max_time=50):
+    n = draw(st.integers(2, max_nodes))
+    m = draw(st.integers(0, max_edges))
+    edges = []
+    for _ in range(m):
+        s = draw(st.integers(0, n - 1))
+        d = draw(st.integers(0, n - 1))
+        t = draw(st.integers(0, max_time))
+        edges.append((s, d, t))
+    return TemporalGraph(edges, num_nodes=n)
+
+
+graph_strategy = temporal_graphs()
+motif_strategy = st.sampled_from(MOTIFS)
+delta_strategy = st.integers(0, 60)
+
+
+class TestMinerAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy)
+    def test_mackey_equals_oracle(self, g, motif, delta):
+        assert count_motifs(g, motif, delta) == brute_force_count(g, motif, delta)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy)
+    def test_memoized_mackey_equals_plain(self, g, motif, delta):
+        assert (
+            MackeyMiner(g, motif, delta, memoize=True).mine().count
+            == count_motifs(g, motif, delta)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy, st.integers(1, 5))
+    def test_taskcentric_equals_mackey(self, g, motif, delta, workers):
+        assert (
+            TaskCentricMiner(g, motif, delta, num_workers=workers).mine().count
+            == count_motifs(g, motif, delta)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy)
+    def test_paranjape_equals_mackey(self, g, motif, delta):
+        assert ParanjapeMiner(g, motif, delta).count() == count_motifs(
+            g, motif, delta
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy, st.booleans())
+    def test_walker_equals_mackey(self, g, motif, delta, memoize):
+        layout = GraphMemoryLayout.for_graph(g)
+        walker = TraceWalker(g, motif, delta, layout, memoize=memoize)
+        for root in range(g.num_edges):
+            walker.begin_root(root)
+            state = walker.new_tree_state()
+            for _ in walker.walk(root, state):
+                pass
+            walker.end_root(root)
+        assert walker.stats.matches == count_motifs(g, motif, delta)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_strategy)
+    def test_timestamps_strictly_increasing(self, g):
+        if g.num_edges > 1:
+            assert np.all(np.diff(g.ts) > 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_strategy)
+    def test_adjacency_partitions_edges(self, g):
+        assert sorted(g.out_edge_idx.tolist()) == list(range(g.num_edges))
+        assert sorted(g.in_edge_idx.tolist()) == list(range(g.num_edges))
+        for u in range(g.num_nodes):
+            out = g.out_edges(u)
+            assert all(g.src[e] == u for e in out)
+            assert list(out) == sorted(out)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, st.integers(0, 50), st.integers(0, 50))
+    def test_time_slice_edge_subset(self, g, a, b):
+        lo, hi = min(a, b), max(a, b)
+        sub = g.subgraph_by_time(lo, hi)
+        assert sub.num_edges <= g.num_edges
+        for e in sub.edges():
+            assert lo <= e.t
+
+
+class TestCountProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, motif_strategy, st.integers(0, 30))
+    def test_count_monotone_in_delta(self, g, motif, delta):
+        """A larger window can only admit more matches."""
+        assert count_motifs(g, motif, delta) <= count_motifs(g, motif, delta + 10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_strategy, st.integers(0, 40))
+    def test_single_edge_count_is_non_self_loop_edges(self, g, delta):
+        single = Motif([(0, 1)], name="e")
+        expected = sum(1 for e in g.edges() if e.src != e.dst)
+        assert count_motifs(g, single, delta) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy, motif_strategy)
+    def test_zero_delta_zero_multi_edge_matches(self, g, motif):
+        """With δ=0 no multi-edge motif can fit (strictly increasing times)."""
+        if motif.num_edges > 1:
+            assert count_motifs(g, motif, 0) == 0

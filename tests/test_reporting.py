@@ -1,0 +1,49 @@
+"""Tests for table rendering and numeric helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_markdown, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["xxx", 1], ["y", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_numeric_formatting(self):
+        out = format_table(["v"], [[1234567], [0.0001], [3.14159], [True]])
+        assert "1,234,567" in out
+        assert "0.0001" in out
+        assert "3.14" in out
+        assert "True" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        out = format_markdown(["a", "b"], [["1", "2"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"

@@ -1,0 +1,167 @@
+"""Integration tests for the Mint accelerator simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import count_motifs
+from repro.motifs.catalog import EVALUATION_MOTIFS, M1, M2
+from repro.sim.accelerator import MintSimulator
+from repro.sim.config import CacheConfig, MintConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_dataset("wiki-talk", scale=0.05, seed=13)
+    delta = g.time_span // 30
+    return g, delta
+
+
+def small_config(**kw):
+    base = dict(num_pes=32, cache=CacheConfig(num_banks=16, bank_kb=4))
+    base.update(kw)
+    return MintConfig(**base)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("motif", EVALUATION_MOTIFS)
+    def test_counts_equal_software(self, workload, motif):
+        g, delta = workload
+        report = MintSimulator(g, motif, delta, small_config()).run()
+        assert report.matches == count_motifs(g, motif, delta)
+
+    @pytest.mark.parametrize("pes", [1, 7, 64, 512])
+    def test_counts_independent_of_pe_count(self, workload, pes):
+        g, delta = workload
+        report = MintSimulator(g, M1, delta, small_config(num_pes=pes)).run()
+        assert report.matches == count_motifs(g, M1, delta)
+
+    def test_counts_independent_of_cache_size(self, workload):
+        g, delta = workload
+        expected = count_motifs(g, M1, delta)
+        for bank_kb in (1, 16):
+            cfg = small_config(cache=CacheConfig(num_banks=16, bank_kb=bank_kb))
+            assert MintSimulator(g, M1, delta, cfg).run().matches == expected
+
+    def test_empty_graph(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        g = TemporalGraph([], num_nodes=2)
+        report = MintSimulator(g, M1, 10, small_config()).run()
+        assert report.matches == 0
+        assert report.cycles == 0
+
+
+class TestTimingSanity:
+    def test_more_pes_do_not_slow_small_configs(self, workload):
+        g, delta = workload
+        one = MintSimulator(g, M1, delta, small_config(num_pes=1)).run()
+        many = MintSimulator(g, M1, delta, small_config(num_pes=64)).run()
+        assert many.cycles < one.cycles
+
+    def test_report_invariants(self, workload):
+        g, delta = workload
+        r = MintSimulator(g, M1, delta, small_config()).run()
+        assert r.cycles > 0
+        assert r.seconds == pytest.approx(r.cycles / 1.6e9)
+        assert 0.0 <= r.bandwidth_utilization <= 1.0
+        assert 0.0 <= r.cache_hit_rate <= 1.0
+        assert 0.0 <= r.memory_wait_fraction <= 1.0
+        assert r.dram_bytes == r.dram.total_bytes
+        summary = r.summary()
+        assert summary["matches"] == r.matches
+
+    def test_queue_serves_every_edge_once(self, workload):
+        g, delta = workload
+        r = MintSimulator(g, M1, delta, small_config()).run()
+        assert r.queue.dequeues == g.num_edges
+
+    def test_memory_wait_dominates(self, workload):
+        """§VI-B: search engines wait on memory most of the time."""
+        g, delta = workload
+        r = MintSimulator(g, M1, delta, small_config()).run()
+        assert r.memory_wait_fraction > 0.5
+
+
+class TestAblations:
+    def test_prefetch_adds_traffic_without_helping(self, workload):
+        """§VI-B: prefetching hurts — extra bandwidth + pollution."""
+        g, delta = workload
+        base = MintSimulator(g, M1, delta, small_config()).run()
+        pf = MintSimulator(
+            g, M1, delta, small_config(prefetch_degree=2)
+        ).run()
+        assert pf.matches == base.matches
+        assert pf.dram.total_bytes > base.dram.total_bytes
+        assert pf.cycles >= base.cycles * 0.95  # no meaningful gain
+
+    def test_task_coalescing_changes_little(self, workload):
+        """§VI-B: coalescing buys almost nothing over the cache."""
+        g, delta = workload
+        base = MintSimulator(g, M1, delta, small_config()).run()
+        co = MintSimulator(
+            g, M1, delta, small_config(task_coalescing=True)
+        ).run()
+        assert co.matches == base.matches
+        assert co.cycles == pytest.approx(base.cycles, rel=0.25)
+
+    def test_memoization_helps_on_hub_graphs(self):
+        g = make_dataset("stackoverflow", scale=0.05, seed=3)
+        delta = g.time_span // 25
+        cfg_on = small_config(memoize=True, per_tree_index_cache=False)
+        cfg_off = small_config(memoize=False, per_tree_index_cache=False)
+        on = MintSimulator(g, M1, delta, cfg_on).run()
+        off = MintSimulator(g, M1, delta, cfg_off).run()
+        assert on.matches == off.matches
+        assert on.cycles < off.cycles
+
+
+class TestConfig:
+    def test_with_cache_mb(self):
+        cfg = MintConfig().with_cache_mb(2)
+        assert cfg.cache.total_mb == pytest.approx(2.0)
+
+    def test_with_pes(self):
+        assert MintConfig().with_pes(64).num_pes == 64
+
+    def test_with_memoize(self):
+        assert MintConfig().with_memoize(False).memoize is False
+
+    def test_invalid_pes(self):
+        with pytest.raises(ValueError):
+            MintConfig(num_pes=0)
+
+    def test_table_lists_components(self):
+        table = MintConfig().table()
+        assert "Context Manager" in table
+        assert "DRAM" in table
+        assert "204.8" in table["DRAM"]
+
+    def test_cycles_to_seconds(self):
+        assert MintConfig().cycles_to_seconds(1_600_000_000) == pytest.approx(1.0)
+
+
+class TestIdealMemory:
+    def test_ideal_memory_preserves_counts(self, workload):
+        g, delta = workload
+        real = MintSimulator(g, M1, delta, small_config()).run()
+        ideal = MintSimulator(
+            g, M1, delta, small_config(ideal_memory=True)
+        ).run()
+        assert ideal.matches == real.matches
+
+    def test_ideal_memory_is_faster(self, workload):
+        g, delta = workload
+        real = MintSimulator(g, M1, delta, small_config()).run()
+        ideal = MintSimulator(
+            g, M1, delta, small_config(ideal_memory=True)
+        ).run()
+        assert ideal.cycles < real.cycles
+
+    def test_ideal_memory_generates_no_dram_traffic(self, workload):
+        g, delta = workload
+        ideal = MintSimulator(
+            g, M1, delta, small_config(ideal_memory=True)
+        ).run()
+        assert ideal.dram.total_bytes == 0

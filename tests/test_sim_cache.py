@@ -1,0 +1,126 @@
+"""Tests for the multi-banked non-blocking cache model."""
+
+import pytest
+
+from repro.sim.cache import CacheModel
+from repro.sim.config import CacheConfig, DramConfig
+from repro.sim.dram import DramModel
+
+
+def make_cache(**kw):
+    cfg = CacheConfig(**kw)
+    return CacheModel(cfg, DramModel(DramConfig())), cfg
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        cache, _ = make_cache()
+        cache.access_line(0, now=0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_second_access_hits_after_fill(self):
+        cache, cfg = make_cache()
+        fill = cache.access_line(0, now=0)
+        done = cache.access_line(0, now=fill + 1)
+        assert cache.stats.hits == 1
+        assert done <= fill + 1 + cfg.access_cycles + 1
+
+    def test_hit_is_fast(self):
+        cache, cfg = make_cache()
+        fill = cache.access_line(0, now=0)
+        done = cache.access_line(0, now=fill)
+        assert done - fill <= cfg.access_cycles + 1
+
+    def test_access_before_fill_merges(self):
+        cache, _ = make_cache()
+        fill = cache.access_line(0, now=0)
+        merged = cache.access_line(0, now=1)
+        assert merged == fill
+        assert cache.stats.mshr_merges == 1
+        assert cache.stats.misses == 1  # no second DRAM fetch
+
+    def test_multiline_access_spans_lines(self):
+        cache, cfg = make_cache()
+        cache.access(addr=60, nbytes=8, now=0)  # crosses a line boundary
+        assert cache.stats.misses == 2
+
+    def test_hit_rate_counts_merges_as_hits(self):
+        cache, _ = make_cache()
+        cache.access_line(0, 0)
+        cache.access_line(0, 1)  # merge
+        fill = cache.access_line(0, 10_000)  # hit
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEvictionAndWriteback:
+    def test_lru_eviction(self):
+        # 1 bank, 1 set of 2 ways: third distinct line evicts the LRU.
+        cache, cfg = make_cache(num_banks=1, bank_kb=1, ways=2, line_bytes=512)
+        t = cache.access_line(0, 0)
+        t = cache.access_line(1, t + 10)
+        t = cache.access_line(2, t + 10)  # evicts line 0
+        cache.access_line(0, t + 10_000)
+        assert cache.stats.misses == 4  # line 0 was re-fetched
+
+    def test_lru_touch_on_hit(self):
+        cache, _ = make_cache(num_banks=1, bank_kb=1, ways=2, line_bytes=512)
+        t = cache.access_line(0, 0)
+        t = cache.access_line(1, t + 10)
+        t = cache.access_line(0, t + 10)  # touch 0 -> 1 becomes LRU
+        t = cache.access_line(2, t + 10)  # evicts 1
+        cache.access_line(0, t + 10_000)
+        assert cache.stats.hits >= 2
+
+    def test_dirty_eviction_writes_back(self):
+        cache, _ = make_cache(num_banks=1, bank_kb=1, ways=2, line_bytes=512)
+        t = cache.access_line(0, 0, is_write=True)
+        t = cache.access_line(1, t + 10)
+        cache.access_line(2, t + 10)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+        assert cache.dram.stats.writes == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache, _ = make_cache(num_banks=1, bank_kb=1, ways=2, line_bytes=512)
+        t = cache.access_line(0, 0)
+        t = cache.access_line(1, t + 10)
+        cache.access_line(2, t + 10)
+        assert cache.stats.writebacks == 0
+
+
+class TestContention:
+    def test_port_contention_counted(self):
+        cache, _ = make_cache(num_banks=1, ports_per_bank=1)
+        # Warm two lines of the same (single) bank.
+        t1 = cache.access_line(0, 0)
+        t2 = cache.access_line(1, t1)
+        warm = max(t1, t2) + 100
+        cache.access_line(0, warm)
+        cache.access_line(1, warm)  # same cycle, same bank, one port
+        assert cache.stats.port_stall_cycles >= 1
+
+    def test_banks_spread_lines(self):
+        cache, cfg = make_cache()
+        # Consecutive lines map to consecutive banks.
+        assert 0 % cfg.num_banks != 1 % cfg.num_banks
+
+    def test_mshr_limit_stalls(self):
+        cache, _ = make_cache(num_banks=1, mshrs_per_bank=2, ports_per_bank=8)
+        cache.access_line(0, 0)
+        cache.access_line(1, 0)
+        cache.access_line(2, 0)  # third outstanding miss must stall
+        assert cache.stats.mshr_stall_cycles > 0
+
+
+class TestConfigValidation:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(bank_kb=1, line_bytes=4096)
+
+    def test_sets_per_bank(self):
+        cfg = CacheConfig(bank_kb=64, line_bytes=64, ways=4)
+        assert cfg.sets_per_bank == 256
+
+    def test_total_size(self):
+        cfg = CacheConfig()
+        assert cfg.total_mb == 4.0

@@ -1,0 +1,127 @@
+"""Deeper simulator tests: layout/config edge cases and stream timing."""
+
+import dataclasses
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import count_motifs
+from repro.motifs.catalog import M1, SINGLE_EDGE
+from repro.sim.accelerator import MintSimulator
+from repro.sim.config import CacheConfig, DramConfig, MintConfig
+from repro.sim.layout import GraphMemoryLayout
+
+
+class TestConfigEdgeCases:
+    def test_with_cache_mb_small_reduces_banks(self):
+        cfg = MintConfig().with_cache_mb(16 / 1024)  # 16 KB
+        assert cfg.cache.num_banks == 16
+        assert cfg.cache.bank_kb == 1
+
+    def test_with_cache_mb_large_keeps_banks(self):
+        cfg = MintConfig().with_cache_mb(8)
+        assert cfg.cache.num_banks == 64
+        assert cfg.cache.total_mb == pytest.approx(8.0)
+
+    def test_peak_bytes_per_cycle(self):
+        assert DramConfig().peak_bytes_per_cycle == 128.0
+
+    def test_frequency_validation(self):
+        with pytest.raises(ValueError):
+            MintConfig(frequency_ghz=0)
+
+    def test_cache_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_banks=0)
+
+
+class TestStreamTiming:
+    """The phase-1 stream must respect issue and consume rates."""
+
+    def _cycles(self, stream_window):
+        g = make_dataset("wiki-talk", scale=0.04, seed=21)
+        delta = g.time_span // 30
+        cfg = MintConfig(
+            num_pes=8,
+            stream_window=stream_window,
+            cache=CacheConfig(num_banks=16, bank_kb=2),
+        )
+        rep = MintSimulator(g, M1, delta, cfg).run()
+        return rep
+
+    def test_wider_window_never_slower(self):
+        narrow = self._cycles(1)
+        wide = self._cycles(16)
+        assert wide.matches == narrow.matches
+        assert wide.cycles <= narrow.cycles * 1.02
+
+    def test_single_pe_single_edge_motif_is_cheap(self):
+        g = TemporalGraph([(0, 1, 10), (1, 2, 20)])
+        cfg = MintConfig(num_pes=1, cache=CacheConfig(num_banks=1, bank_kb=1))
+        rep = MintSimulator(g, SINGLE_EDGE, 0, cfg).run()
+        assert rep.matches == 2
+        # Two root tasks, each a couple of memory ops: well under 1k cycles.
+        assert rep.cycles < 1000
+
+
+class TestLayoutScaling:
+    def test_total_bytes_scale_with_graph(self):
+        small = GraphMemoryLayout.for_graph(
+            make_dataset("email-eu", scale=0.05, seed=1)
+        )
+        large = GraphMemoryLayout.for_graph(
+            make_dataset("email-eu", scale=0.2, seed=1)
+        )
+        assert large.total_bytes > small.total_bytes
+
+    def test_memo_region_scales_with_nodes(self):
+        g1 = TemporalGraph([(0, 1, 1)], num_nodes=2)
+        g2 = TemporalGraph([(0, 1, 1)], num_nodes=2000)
+        l1 = GraphMemoryLayout.for_graph(g1)
+        l2 = GraphMemoryLayout.for_graph(g2)
+        assert (l2.memo_in_base - l2.memo_out_base) > (
+            l1.memo_in_base - l1.memo_out_base
+        )
+
+
+class TestPrefetchPollution:
+    def test_prefetch_lines_enter_cache(self):
+        g = make_dataset("wiki-talk", scale=0.04, seed=21)
+        delta = g.time_span // 30
+        base_cfg = MintConfig(
+            num_pes=8, cache=CacheConfig(num_banks=16, bank_kb=1)
+        )
+        pf_cfg = dataclasses.replace(base_cfg, prefetch_degree=4)
+        base = MintSimulator(g, M1, delta, base_cfg).run()
+        pf = MintSimulator(g, M1, delta, pf_cfg).run()
+        assert pf.cache.accesses > base.cache.accesses
+        assert pf.dram.total_bytes > base.dram.total_bytes
+
+
+class TestCountsUnderAllKnobs:
+    """No timing knob may ever change the functional result."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"stream_window": 1},
+            {"phase2_window": 1},
+            {"phase2_window": 16},
+            {"prefetch_degree": 3},
+            {"task_coalescing": True},
+            {"memoize": False},
+            {"per_tree_index_cache": False},
+            {"ideal_memory": True},
+            {"memo_lag_roots": 0},
+            {"memo_lag_roots": 10_000},
+        ],
+    )
+    def test_knob_invariance(self, overrides):
+        g = make_dataset("superuser", scale=0.05, seed=23)
+        delta = g.time_span // 30
+        expected = count_motifs(g, M1, delta)
+        cfg = MintConfig(
+            num_pes=16, cache=CacheConfig(num_banks=16, bank_kb=1), **overrides
+        )
+        assert MintSimulator(g, M1, delta, cfg).run().matches == expected

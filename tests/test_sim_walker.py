@@ -1,0 +1,165 @@
+"""Tests for the functional access-trace walker.
+
+The walker is the simulator's functional core: it must produce exactly
+the counts of the Mackey reference on every input, and its emitted
+operations must be well-formed and land in the right memory regions.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import MackeyMiner, count_motifs
+from repro.motifs.catalog import EVALUATION_MOTIFS, M1, M4, PING_PONG, SINGLE_EDGE
+from repro.sim.layout import GraphMemoryLayout
+from repro.sim.walker import TraceWalker
+
+from conftest import random_temporal_graph
+
+
+def run_all_roots(walker):
+    """Consume all root walks sequentially; returns ops count."""
+    n_ops = 0
+    for root in range(walker.graph.num_edges):
+        walker.begin_root(root)
+        state = walker.new_tree_state()
+        for _ in walker.walk(root, state):
+            n_ops += 1
+        walker.end_root(root)
+        # Context must be fully unwound after every tree.
+        assert state.depth == 0
+        assert not state.g2m
+    return n_ops
+
+
+def make_walker(graph, motif, delta, **kw):
+    layout = GraphMemoryLayout.for_graph(graph)
+    return TraceWalker(graph, motif, delta, layout, **kw)
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("motif", EVALUATION_MOTIFS)
+    @pytest.mark.parametrize("memoize", [False, True])
+    def test_counts_match_mackey(self, motif, memoize):
+        g = make_dataset("mathoverflow", scale=0.06, seed=8)
+        delta = g.time_span // 30
+        walker = make_walker(g, motif, delta, memoize=memoize)
+        run_all_roots(walker)
+        assert walker.stats.matches == count_motifs(g, motif, delta)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_temporal_graph(rng, num_nodes=8, num_edges=50, time_range=70)
+        delta = rng.randrange(10, 40)
+        motif = rng.choice([M1, PING_PONG, M4])
+        walker = make_walker(g, motif, delta, memoize=True)
+        run_all_roots(walker)
+        assert walker.stats.matches == count_motifs(g, motif, delta)
+
+    @pytest.mark.parametrize("per_tree", [False, True])
+    def test_per_tree_cache_is_functionally_invisible(self, per_tree):
+        g = make_dataset("wiki-talk", scale=0.04, seed=8)
+        delta = g.time_span // 30
+        walker = make_walker(g, M1, delta, per_tree_index_cache=per_tree)
+        run_all_roots(walker)
+        assert walker.stats.matches == count_motifs(g, M1, delta)
+
+    def test_single_edge_motif(self, tiny_graph):
+        walker = make_walker(tiny_graph, SINGLE_EDGE, 0)
+        run_all_roots(walker)
+        assert walker.stats.matches == 6
+
+    def test_bookkeeps_equal_backtracks(self, tiny_graph):
+        walker = make_walker(tiny_graph, M1, 30)
+        run_all_roots(walker)
+        assert walker.stats.bookkeeps == walker.stats.backtracks
+
+
+class TestEmittedOps:
+    def test_ops_are_well_formed(self, tiny_graph):
+        layout = GraphMemoryLayout.for_graph(tiny_graph)
+        walker = TraceWalker(tiny_graph, M1, 30, layout)
+        kinds = set()
+        for root in range(tiny_graph.num_edges):
+            state = walker.new_tree_state()
+            for op in walker.walk(root, state):
+                kinds.add(op[0])
+                if op[0] in ("read", "write", "stream"):
+                    _, addr, nbytes = op
+                    assert 0 <= addr < layout.total_bytes
+                    assert nbytes > 0
+                elif op[0] == "readv":
+                    assert len(op[1]) >= 1
+                    for addr in op[1]:
+                        assert 0 <= addr < layout.total_bytes
+                elif op[0] == "ctx":
+                    assert op[1] > 0
+        assert {"read", "ctx"} <= kinds
+
+    def test_match_ops_equal_match_count(self, tiny_graph):
+        layout = GraphMemoryLayout.for_graph(tiny_graph)
+        walker = TraceWalker(tiny_graph, M1, 30, layout)
+        match_ops = 0
+        for root in range(tiny_graph.num_edges):
+            state = walker.new_tree_state()
+            match_ops += sum(
+                1 for op in walker.walk(root, state) if op[0] == "match"
+            )
+        assert match_ops == walker.stats.matches == 2
+
+    def test_memo_writes_target_memo_region(self, tiny_graph):
+        layout = GraphMemoryLayout.for_graph(tiny_graph)
+        walker = TraceWalker(tiny_graph, M1, 30, layout, memoize=True)
+        for root in range(tiny_graph.num_edges):
+            walker.begin_root(root)
+            for op in walker.walk(root, walker.new_tree_state()):
+                if op[0] == "write":
+                    assert op[1] >= layout.memo_out_base
+            walker.end_root(root)
+
+    def test_no_memo_ops_when_disabled(self, tiny_graph):
+        layout = GraphMemoryLayout.for_graph(tiny_graph)
+        walker = TraceWalker(tiny_graph, M1, 30, layout, memoize=False)
+        for root in range(tiny_graph.num_edges):
+            for op in walker.walk(root, walker.new_tree_state()):
+                assert op[0] != "write"
+                if op[0] == "read":
+                    assert op[1] < layout.memo_out_base
+
+    def test_self_loop_root_produces_empty_tree(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        g = TemporalGraph([(0, 0, 1), (0, 1, 2)])
+        walker = make_walker(g, SINGLE_EDGE, 5)
+        run_all_roots(walker)
+        assert walker.stats.matches == 1
+
+
+class TestMemoSemantics:
+    def test_memo_skip_never_loses_matches(self):
+        """Sequential roots: memo skips must be invisible to counts even
+        on hub-heavy graphs where skips are large."""
+        g = make_dataset("stackoverflow", scale=0.03, seed=4)
+        delta = g.time_span // 25
+        walker = make_walker(g, M1, delta, memoize=True)
+        run_all_roots(walker)
+        assert walker.stats.index_items_skipped_by_memo > 0
+        assert walker.stats.matches == count_motifs(g, M1, delta)
+
+    def test_oldest_in_flight_bound(self):
+        g = make_dataset("email-eu", scale=0.05, seed=4)
+        delta = g.time_span // 25
+        walker = make_walker(g, M1, delta, memoize=True)
+        walker.begin_root(5)
+        walker.begin_root(9)
+        assert walker._memo_store_root(9) == 5
+        walker.end_root(5)
+        assert walker._memo_store_root(9) == 9
+
+    def test_fixed_lag_fallback_without_tracking(self):
+        g = make_dataset("email-eu", scale=0.05, seed=4)
+        walker = make_walker(g, M1, 100, memoize=True, memo_lag_roots=100)
+        assert walker._memo_store_root(250) == 150
+        assert walker._memo_store_root(50) == 0

@@ -1,0 +1,94 @@
+"""Tests for static subgraph enumeration and fast static counting."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.static_counts import count_static_embeddings_fast
+from repro.mining.static_mining import StaticPatternMiner, count_static_embeddings
+from repro.motifs.catalog import M1, M2, M3, M4, BIFAN, FAN_IN, PATH3, PING_PONG
+from repro.motifs.motif import Motif
+
+from conftest import random_temporal_graph
+
+
+class TestEnumeration:
+    def test_triangle_rotations(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 0, 3)])
+        # The directed 3-cycle has three rotational embeddings.
+        assert count_static_embeddings(g, M1) == 3
+
+    def test_no_match(self):
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2)])
+        assert count_static_embeddings(g, M1) == 0
+
+    def test_multi_edges_counted_once(self):
+        g = TemporalGraph([(0, 1, 1), (0, 1, 2), (0, 1, 3), (1, 0, 4)])
+        # Multi-edges collapse; both node assignments of the 2-cycle remain.
+        assert count_static_embeddings(g, PING_PONG) == 2
+
+    def test_star(self):
+        g = TemporalGraph([(0, i, i) for i in range(1, 5)])
+        # Ordered injective choices of 4 targets out of 4: 4! = 24.
+        assert count_static_embeddings(g, M4) == 24
+
+    def test_embeddings_are_injective(self, burst_graph):
+        for emb in StaticPatternMiner(burst_graph, M1).embeddings():
+            assert len(set(emb)) == len(emb)
+
+    def test_embeddings_satisfy_pattern(self, burst_graph):
+        proj = burst_graph.static_projection()
+        for emb in StaticPatternMiner(burst_graph, M2).embeddings():
+            for u, v in M2.edges:
+                assert (emb[u], emb[v]) in proj
+
+    def test_counters_populated(self, burst_graph):
+        miner = StaticPatternMiner(burst_graph, M1)
+        miner.count()
+        assert miner.counters.partial_mappings > 0
+        assert miner.counters.adjacency_items_touched > 0
+
+
+class TestFastCounts:
+    @pytest.mark.parametrize("motif", [M1, M2, M3, M4, FAN_IN])
+    def test_fast_count_matches_enumeration_on_dataset(self, motif):
+        g = make_dataset("email-eu", scale=0.04, seed=6)
+        fast = count_static_embeddings_fast(g, motif)
+        assert fast.count == count_static_embeddings(g, motif)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("motif", [M1, M2, M3, M4])
+    def test_fast_count_on_random_graphs(self, seed, motif):
+        rng = random.Random(seed)
+        g = random_temporal_graph(rng, num_nodes=8, num_edges=30, time_range=40)
+        fast = count_static_embeddings_fast(g, motif)
+        assert fast.count == count_static_embeddings(g, motif)
+        assert not fast.used_fallback
+
+    def test_fallback_for_generic_pattern(self):
+        g = TemporalGraph([(0, 2, 1), (0, 3, 2), (1, 2, 3), (1, 3, 4)])
+        fast = count_static_embeddings_fast(g, BIFAN)
+        assert fast.used_fallback
+        assert fast.count == count_static_embeddings(g, BIFAN)
+
+    def test_fast_count_path3_uses_fallback_correctly(self):
+        rng = random.Random(1)
+        g = random_temporal_graph(rng, num_nodes=6, num_edges=20, time_range=30)
+        fast = count_static_embeddings_fast(g, PATH3)
+        assert fast.count == count_static_embeddings(g, PATH3)
+
+    def test_instrumentation_present(self):
+        g = make_dataset("email-eu", scale=0.04, seed=6)
+        fast = count_static_embeddings_fast(g, M1)
+        assert fast.set_items_touched > 0
+        assert fast.intersections > 0
+
+    def test_star_excludes_self_neighbor(self):
+        # Self-loop pair (0,0) must not inflate the star degree.
+        g = TemporalGraph(
+            [(0, 0, 1), (0, 1, 2), (0, 2, 3), (0, 3, 4), (0, 4, 5)]
+        )
+        fast = count_static_embeddings_fast(g, M4)
+        assert fast.count == count_static_embeddings(g, M4) == 24

@@ -1,0 +1,50 @@
+"""Tests for the hardware task queue model."""
+
+import pytest
+
+from repro.sim.task_queue import RootTaskQueue
+
+
+class TestDequeue:
+    def test_serves_roots_in_chronological_order(self):
+        q = RootTaskQueue(num_edges=5)
+        roots = [q.dequeue(0)[0] for _ in range(5)]
+        assert roots == [0, 1, 2, 3, 4]
+
+    def test_exhausted_queue_returns_none(self):
+        q = RootTaskQueue(num_edges=1)
+        assert q.dequeue(0) is not None
+        assert q.dequeue(10) is None
+
+    def test_single_port_serializes(self):
+        q = RootTaskQueue(num_edges=3, dequeue_cycles=1)
+        _, r1 = q.dequeue(0)
+        _, r2 = q.dequeue(0)
+        _, r3 = q.dequeue(0)
+        assert r1 == 1 and r2 == 2 and r3 == 3
+        assert q.stats.contention_cycles == 1 + 2
+
+    def test_no_contention_when_spaced(self):
+        q = RootTaskQueue(num_edges=3)
+        q.dequeue(0)
+        q.dequeue(100)
+        assert q.stats.contention_cycles == 0
+
+    def test_remaining(self):
+        q = RootTaskQueue(num_edges=4)
+        assert q.remaining == 4
+        q.dequeue(0)
+        assert q.remaining == 3
+
+    def test_stats_count_dequeues(self):
+        q = RootTaskQueue(num_edges=2)
+        q.dequeue(0)
+        q.dequeue(0)
+        q.dequeue(0)
+        assert q.stats.dequeues == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RootTaskQueue(1, dequeue_cycles=0)
+        with pytest.raises(ValueError):
+            RootTaskQueue(1, entries=0)

@@ -1,0 +1,78 @@
+"""Tests for the task-centric programming model (paper §IV)."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import count_motifs
+from repro.mining.taskcentric import Task, TaskCentricMiner, TaskType
+from repro.motifs.catalog import EVALUATION_MOTIFS, M1, PING_PONG, SINGLE_EDGE
+
+from conftest import random_temporal_graph
+
+
+class TestEquivalenceWithMackey:
+    @pytest.mark.parametrize("motif", EVALUATION_MOTIFS)
+    def test_counts_match_on_dataset(self, motif):
+        g = make_dataset("email-eu", scale=0.05, seed=11)
+        delta = g.time_span // 40
+        assert (
+            TaskCentricMiner(g, motif, delta).mine().count
+            == count_motifs(g, motif, delta)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_counts_match_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        g = random_temporal_graph(rng, num_nodes=7, num_edges=35, time_range=50)
+        delta = rng.randrange(5, 30)
+        assert (
+            TaskCentricMiner(g, M1, delta).mine().count
+            == count_motifs(g, M1, delta)
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 7, 64])
+    def test_worker_count_does_not_change_results(self, workers, burst_graph):
+        base = TaskCentricMiner(burst_graph, PING_PONG, 6, num_workers=1).mine()
+        got = TaskCentricMiner(
+            burst_graph, PING_PONG, 6, num_workers=workers
+        ).mine()
+        assert got.count == base.count
+
+    def test_single_edge_motif(self, tiny_graph):
+        assert TaskCentricMiner(tiny_graph, SINGLE_EDGE, 0).mine().count == 6
+
+    def test_recorded_matches(self, tiny_graph):
+        res = TaskCentricMiner(tiny_graph, M1, 30, record_matches=True).mine()
+        assert res.matches is not None
+        assert len(res.matches) == res.count == 2
+
+
+class TestTaskSemantics:
+    def test_invalid_worker_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            TaskCentricMiner(tiny_graph, M1, 10, num_workers=0)
+
+    def test_task_types_enum(self):
+        assert {t.value for t in TaskType} == {"search", "bookkeep", "backtrack"}
+
+    def test_task_dataclass_defaults(self):
+        t = Task(TaskType.SEARCH, worker=0)
+        assert t.edge == -1
+        assert not t.is_root
+
+    def test_counters_task_balance(self, tiny_graph):
+        """Every book-keeping is eventually undone by a backtrack."""
+        res = TaskCentricMiner(tiny_graph, M1, 30).mine()
+        c = res.counters
+        assert c.bookkeeps == c.backtracks
+        assert c.root_tasks == tiny_graph.num_edges
+
+    def test_empty_graph_yields_no_tasks(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        g = TemporalGraph([], num_nodes=3)
+        res = TaskCentricMiner(g, M1, 10).mine()
+        assert res.count == 0
+        assert res.counters.root_tasks == 0

@@ -1,0 +1,131 @@
+"""Unit tests for the temporal graph core data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = TemporalGraph([])
+        assert g.num_edges == 0
+        assert g.num_nodes == 0
+        assert g.time_span == 0
+        assert list(g.edges()) == []
+
+    def test_single_edge(self):
+        g = TemporalGraph([(0, 1, 42)])
+        assert g.num_edges == 1
+        assert g.num_nodes == 2
+        assert g.edge(0) == TemporalEdge(0, 1, 42)
+
+    def test_edges_sorted_by_timestamp(self):
+        g = TemporalGraph([(0, 1, 30), (1, 2, 10), (2, 0, 20)])
+        times = [g.time(i) for i in range(3)]
+        assert times == sorted(times)
+        assert g.edge(0) == TemporalEdge(1, 2, 10)
+
+    def test_duplicate_timestamps_are_uniquified(self):
+        g = TemporalGraph([(0, 1, 5), (1, 2, 5), (2, 0, 5)])
+        times = [g.time(i) for i in range(3)]
+        assert len(set(times)) == 3
+        assert times == sorted(times)
+        # Uniquification nudges forward minimally and keeps stable order.
+        assert times == [5, 6, 7]
+
+    def test_stable_order_for_equal_timestamps(self):
+        g = TemporalGraph([(0, 1, 5), (2, 3, 5)])
+        assert g.edge(0).src == 0
+        assert g.edge(1).src == 2
+
+    def test_accepts_temporal_edge_objects(self):
+        g = TemporalGraph([TemporalEdge(0, 1, 1), TemporalEdge(1, 0, 2)])
+        assert g.num_edges == 2
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([(-1, 0, 1)])
+
+    def test_explicit_num_nodes(self):
+        g = TemporalGraph([(0, 1, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+        assert g.out_degree(9) == 0
+
+    def test_num_nodes_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalGraph([(0, 5, 1)], num_nodes=3)
+
+    def test_len_and_repr(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        assert len(g) == 2
+        assert "num_edges=2" in repr(g)
+
+
+class TestAdjacency:
+    def test_out_edges_are_chronological(self, burst_graph):
+        for u in range(burst_graph.num_nodes):
+            idx = burst_graph.out_edges(u)
+            assert list(idx) == sorted(idx)
+
+    def test_in_edges_are_chronological(self, burst_graph):
+        for v in range(burst_graph.num_nodes):
+            idx = burst_graph.in_edges(v)
+            assert list(idx) == sorted(idx)
+
+    def test_out_edges_content(self, tiny_graph):
+        # Node 0 has edges 0->1@5 (idx 0) and 0->1@40 (idx 5).
+        assert list(tiny_graph.out_edges(0)) == [0, 5]
+
+    def test_in_edges_content(self, tiny_graph):
+        # Node 2 receives edge idx 1 (1->2@10) and idx 4 (1->2@30).
+        assert list(tiny_graph.in_edges(2)) == [1, 4]
+
+    def test_degrees_sum_to_edge_count(self, burst_graph):
+        g = burst_graph
+        assert sum(g.out_degree(u) for u in range(g.num_nodes)) == g.num_edges
+        assert sum(g.in_degree(v) for v in range(g.num_nodes)) == g.num_edges
+
+    def test_offsets_are_monotone(self, burst_graph):
+        assert np.all(np.diff(burst_graph.out_offsets) >= 0)
+        assert np.all(np.diff(burst_graph.in_offsets) >= 0)
+
+    def test_edge_index_arrays_partition_edges(self, burst_graph):
+        g = burst_graph
+        assert sorted(g.out_edge_idx.tolist()) == list(range(g.num_edges))
+        assert sorted(g.in_edge_idx.tolist()) == list(range(g.num_edges))
+
+
+class TestSearchHelpers:
+    def test_first_out_after(self, tiny_graph):
+        # out(0) = [0, 5]; after edge 0 the first out index > 0 is at pos 1.
+        assert tiny_graph.first_out_after(0, 0) == 1
+        assert tiny_graph.first_out_after(0, -1) == 0
+        assert tiny_graph.first_out_after(0, 5) == 2  # past the end
+
+    def test_first_in_after(self, tiny_graph):
+        # in(2) = [1, 4].
+        assert tiny_graph.first_in_after(2, 0) == 0
+        assert tiny_graph.first_in_after(2, 1) == 1
+        assert tiny_graph.first_in_after(2, 4) == 2
+
+
+class TestProjectionsAndSlices:
+    def test_static_projection_dedups(self, burst_graph):
+        proj = burst_graph.static_projection()
+        assert (0, 1) in proj
+        # Multi-edges collapse to one pair.
+        assert len(proj) < burst_graph.num_edges
+
+    def test_subgraph_by_time_bounds(self, tiny_graph):
+        sub = tiny_graph.subgraph_by_time(10, 30)
+        times = [e.t for e in sub.edges()]
+        assert times == [10, 20, 25]
+
+    def test_subgraph_preserves_num_nodes(self, tiny_graph):
+        sub = tiny_graph.subgraph_by_time(0, 1)
+        assert sub.num_nodes == tiny_graph.num_nodes
+        assert sub.num_edges == 0
+
+    def test_time_span(self, tiny_graph):
+        assert tiny_graph.time_span == 35

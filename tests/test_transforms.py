@@ -1,0 +1,91 @@
+"""Tests for temporal graph transforms."""
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.transforms import (
+    compact_node_ids,
+    degree_filtered,
+    filter_time_range,
+    induced_subgraph,
+    merge,
+    temporal_split,
+)
+
+
+@pytest.fixture
+def graph():
+    return make_dataset("email-eu", scale=0.05, seed=14)
+
+
+class TestFiltering:
+    def test_time_range(self, tiny_graph):
+        sub = filter_time_range(tiny_graph, 10, 30)
+        assert [e.t for e in sub.edges()] == [10, 20, 25]
+
+    def test_induced_subgraph(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [0, 1])
+        for e in sub.edges():
+            assert e.src in (0, 1) and e.dst in (0, 1)
+        assert sub.num_edges == 2  # the two 0->1 edges
+
+    def test_induced_preserves_node_space(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [0, 1])
+        assert sub.num_nodes == tiny_graph.num_nodes
+
+    def test_degree_filtered(self, graph):
+        capped = degree_filtered(graph, max_out_degree=5)
+        for u in range(capped.num_nodes):
+            deg = graph.out_degree(u)
+            if deg > 5:
+                assert capped.out_degree(u) == 0
+
+    def test_degree_filtered_validation(self, graph):
+        with pytest.raises(ValueError):
+            degree_filtered(graph, -1)
+
+
+class TestRelabeling:
+    def test_compact_node_ids(self):
+        g = TemporalGraph([(10, 20, 1), (20, 30, 2)])
+        compacted, mapping = compact_node_ids(g)
+        assert compacted.num_nodes == 3
+        assert mapping == {10: 0, 20: 1, 30: 2}
+        assert compacted.edge(0).src == 0
+
+    def test_compact_preserves_counts(self, graph):
+        from repro.mining.mackey import count_motifs
+        from repro.motifs.catalog import M1
+
+        compacted, _ = compact_node_ids(graph)
+        delta = graph.time_span // 40
+        assert count_motifs(compacted, M1, delta) == count_motifs(
+            graph, M1, delta
+        )
+
+
+class TestSplitMerge:
+    def test_split_partitions_edges(self, graph):
+        train, test = temporal_split(graph, 0.7)
+        assert train.num_edges + test.num_edges == graph.num_edges
+        if train.num_edges and test.num_edges:
+            assert train.ts[-1] <= test.ts[0]
+
+    def test_split_validation(self, graph):
+        with pytest.raises(ValueError):
+            temporal_split(graph, 1.0)
+        with pytest.raises(ValueError):
+            temporal_split(graph, 0.0)
+
+    def test_merge_restores_split(self, graph):
+        train, test = temporal_split(graph, 0.5)
+        merged = merge([train, test])
+        assert merged.num_edges == graph.num_edges
+        assert merged.num_nodes == graph.num_nodes
+        assert [e.as_tuple() for e in merged.edges()] == [
+            e.as_tuple() for e in graph.edges()
+        ]
+
+    def test_merge_empty_list(self):
+        assert merge([]).num_edges == 0

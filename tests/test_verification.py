@@ -1,0 +1,64 @@
+"""Tests for the cross-implementation verification harness."""
+
+import pytest
+
+from repro.analysis.verification import (
+    VerificationReport,
+    _is_simple_cycle,
+    verify_all_miners,
+)
+from repro.graph.generators import make_dataset
+from repro.motifs.catalog import M1, M2, M3, M4, PING_PONG
+
+
+class TestCycleDetection:
+    def test_cycles_recognized(self):
+        assert _is_simple_cycle(M1)
+        assert _is_simple_cycle(M3)
+        assert _is_simple_cycle(PING_PONG)
+
+    def test_non_cycles_rejected(self):
+        assert not _is_simple_cycle(M2)
+        assert not _is_simple_cycle(M4)
+
+
+class TestVerifyAllMiners:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return make_dataset("email-eu", scale=0.05, seed=12)
+
+    def test_all_agree_on_cycle_motif(self, graph):
+        report = verify_all_miners(graph, M1, graph.time_span // 30)
+        assert report.agreed, report.disagreements()
+        assert "cycle_specialized" in report.counts
+        assert "bruteforce_oracle" in report.counts  # small graph
+        assert "AGREED" in str(report)
+
+    def test_all_agree_on_non_cycle_motif(self, graph):
+        report = verify_all_miners(graph, M4, graph.time_span // 30)
+        assert report.agreed
+        assert "cycle_specialized" not in report.counts
+
+    def test_bruteforce_skipped_on_larger_graphs(self):
+        g = make_dataset("mathoverflow", scale=0.12, seed=12)
+        report = verify_all_miners(g, M1, g.time_span // 50)
+        assert "bruteforce_oracle" not in report.counts
+        assert report.agreed
+
+    def test_bruteforce_forced(self, graph):
+        report = verify_all_miners(
+            graph, PING_PONG, graph.time_span // 50, include_bruteforce=True
+        )
+        assert "bruteforce_oracle" in report.counts
+
+    def test_simulator_excluded(self, graph):
+        report = verify_all_miners(
+            graph, M1, graph.time_span // 30, include_simulator=False
+        )
+        assert "mint_simulator" not in report.counts
+
+    def test_disagreement_reporting(self):
+        report = VerificationReport(counts={"mackey": 3, "other": 4})
+        assert not report.agreed
+        assert report.disagreements() == {"other": 4}
+        assert "DISAGREED" in str(report)

@@ -1,0 +1,93 @@
+"""Detail tests for walker statistics and operation accounting."""
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.catalog import M1, M4
+from repro.sim.layout import GraphMemoryLayout
+from repro.sim.walker import TraceWalker
+
+
+def run_walker(graph, motif, delta, **kw):
+    layout = GraphMemoryLayout.for_graph(graph)
+    walker = TraceWalker(graph, motif, delta, layout, **kw)
+    ops = []
+    for root in range(graph.num_edges):
+        walker.begin_root(root)
+        state = walker.new_tree_state()
+        ops.extend(walker.walk(root, state))
+        walker.end_root(root)
+    return walker, ops
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_dataset("mathoverflow", scale=0.06, seed=31)
+    return g, g.time_span // 30
+
+
+class TestStatsInvariants:
+    def test_bookkeeps_equal_backtracks(self, workload):
+        g, delta = workload
+        walker, _ = run_walker(g, M1, delta)
+        assert walker.stats.bookkeeps == walker.stats.backtracks
+
+    def test_searches_equal_phase1_scans_for_connected_motifs(self, workload):
+        g, delta = workload
+        walker, _ = run_walker(g, M1, delta)
+        assert walker.stats.searches == walker.stats.phase1_scans
+
+    def test_candidates_match_software(self, workload):
+        """Phase-2 record fetches equal the software's candidate scans."""
+        g, delta = workload
+        walker, _ = run_walker(g, M1, delta)
+        sw = MackeyMiner(g, M1, delta).mine()
+        assert walker.stats.edge_records_fetched == sw.counters.candidates_scanned
+
+    def test_memo_reads_once_per_scan(self, workload):
+        g, delta = workload
+        walker, _ = run_walker(g, M1, delta, memoize=True)
+        assert walker.stats.memo_reads == walker.stats.phase1_scans
+
+    def test_tree_cache_hits_only_when_enabled(self, workload):
+        g, delta = workload
+        with_cache, _ = run_walker(g, M4, delta, per_tree_index_cache=True)
+        without, _ = run_walker(g, M4, delta, per_tree_index_cache=False)
+        assert with_cache.stats.tree_cache_hits >= 0
+        assert without.stats.tree_cache_hits == 0
+
+
+class TestOpAccounting:
+    def test_ctx_ops_match_task_counts(self, workload):
+        """One ctx op per dispatch, bookkeep and backtrack."""
+        g, delta = workload
+        walker, ops = run_walker(g, M1, delta, memoize=False)
+        ctx_ops = sum(1 for op in ops if op[0] == "ctx")
+        s = walker.stats
+        assert ctx_ops == s.searches + s.bookkeeps + s.backtracks
+
+    def test_stream_bytes_match_items(self, workload):
+        g, delta = workload
+        walker, ops = run_walker(g, M1, delta, memoize=False)
+        stream_bytes = sum(op[2] for op in ops if op[0] == "stream")
+        assert stream_bytes == walker.stats.index_items_streamed * 4
+
+    def test_readv_records_match_fetch_count(self, workload):
+        g, delta = workload
+        walker, ops = run_walker(g, M1, delta)
+        fetched = sum(len(op[1]) for op in ops if op[0] == "readv")
+        assert fetched == walker.stats.edge_records_fetched
+
+    def test_writes_match_memo_writes(self, workload):
+        g, delta = workload
+        walker, ops = run_walker(g, M1, delta, memoize=True)
+        writes = sum(1 for op in ops if op[0] == "write")
+        assert writes == walker.stats.memo_writes
+
+    def test_phase2_batches_respect_window(self, workload):
+        g, delta = workload
+        _, ops = run_walker(g, M1, delta, phase2_window=3)
+        for op in ops:
+            if op[0] == "readv":
+                assert 1 <= len(op[1]) <= 3
