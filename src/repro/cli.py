@@ -53,10 +53,26 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--delta", type=int, required=True, help="window (s)")
     mine.add_argument("--memoize", action="store_true")
     mine.add_argument("--show-matches", type=int, default=0, metavar="N")
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="mine with N worker processes (0 = in-process serial; "
+        "incompatible with --show-matches)",
+    )
 
     census = sub.add_parser("census", help="count the 36-motif grid")
     census.add_argument("graph")
     census.add_argument("--delta", type=int, required=True)
+    census.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="mine the grid with N worker processes sharing one graph "
+        "shipment (0 = in-process serial)",
+    )
 
     simulate = sub.add_parser("simulate", help="run the Mint simulator")
     simulate.add_argument("graph")
@@ -118,13 +134,37 @@ def cmd_mine(args) -> int:
         motif = parse_motif(args.motif_spec, name="custom")
     else:
         motif = motif_by_name(args.motif)
+    workers = getattr(args, "workers", 0)
+    if workers > 0 and args.show_matches > 0:
+        print("error: --show-matches requires the serial miner (--workers 0)")
+        return 2
+    if workers > 0:
+        from repro.mining.parallel import count_motifs_parallel
+
+        presult = count_motifs_parallel(graph, motif, args.delta, num_workers=workers)
+        print(f"{motif.name} count (delta={args.delta}s): {presult.count}")
+        c = presult.counters
+        print(
+            f"  candidates examined: {c.candidates_scanned:,}  "
+            f"searches: {c.searches:,}  bookkeeps: {c.bookkeeps:,}  "
+            f"[{presult.num_workers} workers, {presult.num_chunks} chunks]"
+        )
+        return 0
+    # Record only the first N matches (bounded memory on large graphs)
+    # by streaming them through the on_match callback.
+    shown: list = []
+    want = args.show_matches
+
+    def _keep(match) -> None:
+        if len(shown) < want:
+            shown.append(match)
+
     miner = MackeyMiner(
         graph,
         motif,
         args.delta,
         memoize=args.memoize,
-        record_matches=args.show_matches > 0,
-        max_matches=None,
+        on_match=_keep if want > 0 else None,
     )
     result = miner.mine()
     print(f"{motif.name} count (delta={args.delta}s): {result.count}")
@@ -133,7 +173,7 @@ def cmd_mine(args) -> int:
         f"  candidates examined: {c.candidates_scanned:,}  "
         f"searches: {c.searches:,}  bookkeeps: {c.bookkeeps:,}"
     )
-    for match in (result.matches or [])[: args.show_matches]:
+    for match in shown:
         edges = [graph.edge(i) for i in match.edge_indices]
         print("  match:", " -> ".join(f"{e.src}->{e.dst}@{e.t}" for e in edges))
     return 0
@@ -141,7 +181,7 @@ def cmd_mine(args) -> int:
 
 def cmd_census(args) -> int:
     graph = _load(args.graph)
-    census = grid_census(graph, args.delta)
+    census = grid_census(graph, args.delta, num_workers=getattr(args, "workers", 0))
     print(render_grid(census))
     print(f"total: {sum(census.values()):,}")
     return 0

@@ -41,7 +41,15 @@ def load_snap_text(path: PathLike, num_nodes: int | None = None) -> TemporalGrap
             parts = line.split()
             if len(parts) < 3:
                 raise ValueError(f"{path}:{lineno}: expected 'src dst t', got {line!r}")
-            rows.append((int(parts[0]), int(parts[1]), int(float(parts[2]))))
+            # Parse timestamps as exact integers first: going through
+            # float would silently corrupt values above 2**53.  Only
+            # decimal-formatted columns (e.g. "10.7") take the float
+            # (truncating) fallback.
+            try:
+                t = int(parts[2])
+            except ValueError:
+                t = int(float(parts[2]))
+            rows.append((int(parts[0]), int(parts[1]), t))
     return TemporalGraph(rows, num_nodes=num_nodes)
 
 

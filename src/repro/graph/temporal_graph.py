@@ -64,25 +64,18 @@ class TemporalGraph:
         edges: Iterable[Tuple[int, int, int]],
         num_nodes: int | None = None,
     ) -> None:
-        rows: List[Tuple[int, int, int]] = []
-        for e in edges:
-            if isinstance(e, TemporalEdge):
-                rows.append(e.as_tuple())
-            else:
-                s, d, t = e
-                rows.append((int(s), int(d), int(t)))
-        if any(s < 0 or d < 0 for s, d, _ in rows):
+        arr = self._coerce_edges(edges)
+        if arr.size and bool((arr[:, :2] < 0).any()):
             raise ValueError("node ids must be non-negative")
 
         # Stable sort by timestamp, then make timestamps strictly unique.
-        rows.sort(key=lambda r: r[2])
-        ts = self._uniquify_timestamps([r[2] for r in rows])
+        order = np.argsort(arr[:, 2], kind="stable")
+        arr = arr[order]
+        self.src = np.ascontiguousarray(arr[:, 0])
+        self.dst = np.ascontiguousarray(arr[:, 1])
+        self.ts = self._uniquify_timestamps(arr[:, 2])
 
-        m = len(rows)
-        self.src = np.fromiter((r[0] for r in rows), dtype=np.int64, count=m)
-        self.dst = np.fromiter((r[1] for r in rows), dtype=np.int64, count=m)
-        self.ts = np.asarray(ts, dtype=np.int64)
-
+        m = len(arr)
         inferred = int(max(self.src.max(), self.dst.max())) + 1 if m else 0
         if num_nodes is None:
             num_nodes = inferred
@@ -98,39 +91,144 @@ class TemporalGraph:
     # -- construction helpers -------------------------------------------------
 
     @staticmethod
-    def _uniquify_timestamps(ts: Sequence[int]) -> List[int]:
+    def _coerce_edges(edges: Iterable[Tuple[int, int, int]]) -> np.ndarray:
+        """Normalize edge input into an ``(m, 3)`` int64 array."""
+        if isinstance(edges, np.ndarray):
+            if edges.size == 0:
+                return np.empty((0, 3), dtype=np.int64)
+            arr = np.asarray(edges, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[1] != 3:
+                raise ValueError("edge array must have shape (m, 3)")
+            return arr
+        rows = list(edges)
+        if not rows:
+            return np.empty((0, 3), dtype=np.int64)
+        if any(isinstance(r, TemporalEdge) for r in rows):
+            rows = [
+                r.as_tuple() if isinstance(r, TemporalEdge) else tuple(r)
+                for r in rows
+            ]
+        arr = np.array(rows, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError("each edge must be a (src, dst, t) triple")
+        return arr
+
+    @staticmethod
+    def _uniquify_timestamps(ts: np.ndarray) -> np.ndarray:
         """Nudge duplicate timestamps so the sequence is strictly increasing.
 
-        Edges arrive sorted; each duplicate is shifted to ``prev + 1``.
+        Edges arrive sorted; each duplicate is shifted to ``prev + 1``,
+        i.e. ``out[i] = max(ts[i], out[i-1] + 1)``.  The recurrence
+        unrolls to ``out[i] = i + max_{j<=i}(ts[j] - j)``, which is a
+        running maximum — fully vectorized, no per-edge Python loop.
         This mirrors the paper's without-loss-of-generality uniqueness
         assumption while preserving relative order.
         """
-        out: List[int] = []
-        prev: int | None = None
-        for t in ts:
-            if prev is not None and t <= prev:
-                t = prev + 1
-            out.append(t)
-            prev = t
-        return out
+        ts = np.asarray(ts, dtype=np.int64)
+        if len(ts) == 0:
+            return ts.copy()
+        i = np.arange(len(ts), dtype=np.int64)
+        return np.maximum.accumulate(ts - i) + i
 
     def _build_csr(self, endpoint: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Build per-node lists of edge indices for one endpoint array.
 
-        Because the global edge list is time-sorted, a counting-sort by
-        endpoint yields per-node index lists already in chronological
-        order — exactly the layout the paper's phase-1 search streams.
+        Because the global edge list is time-sorted, a stable counting
+        sort by endpoint yields per-node index lists already in
+        chronological order — exactly the layout the paper's phase-1
+        search streams.  ``np.argsort(kind="stable")`` performs that
+        grouping in C; offsets come from ``bincount`` + ``cumsum``.
         """
         n = self._num_nodes
-        counts = np.bincount(endpoint, minlength=n) if len(endpoint) else np.zeros(n, dtype=np.int64)
+        m = len(endpoint)
+        counts = (
+            np.bincount(endpoint, minlength=n)
+            if m
+            else np.zeros(n, dtype=np.int64)
+        )
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        idx = np.empty(len(endpoint), dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        for i, node in enumerate(endpoint):
-            idx[cursor[node]] = i
-            cursor[node] += 1
+        idx = np.argsort(endpoint, kind="stable").astype(np.int64, copy=False)
         return offsets, idx
+
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        ts: np.ndarray,
+        num_nodes: int | None = None,
+        *,
+        out_offsets: np.ndarray | None = None,
+        out_edge_idx: np.ndarray | None = None,
+        in_offsets: np.ndarray | None = None,
+        in_edge_idx: np.ndarray | None = None,
+        validate: bool = True,
+    ) -> "TemporalGraph":
+        """Adopt prebuilt arrays without re-sorting or re-uniquifying.
+
+        This is the zero-copy constructor used by the parallel mining
+        workers: the arrays (typically views into a shared-memory
+        segment) are adopted as-is.  ``ts`` must already be strictly
+        increasing and the optional CSR arrays must describe exactly the
+        given edge list; with ``validate=True`` (the default) cheap
+        vectorized invariant checks are performed, workers pass
+        ``validate=False`` because the parent already validated.
+        """
+        g = cls.__new__(cls)
+        g.src = np.asarray(src, dtype=np.int64)
+        g.dst = np.asarray(dst, dtype=np.int64)
+        g.ts = np.asarray(ts, dtype=np.int64)
+        m = len(g.src)
+        if len(g.dst) != m or len(g.ts) != m:
+            raise ValueError("src, dst, ts must have equal length")
+        inferred = int(max(g.src.max(), g.dst.max())) + 1 if m else 0
+        if num_nodes is None:
+            num_nodes = inferred
+        elif num_nodes < inferred:
+            raise ValueError(
+                f"num_nodes={num_nodes} smaller than max node id + 1 ({inferred})"
+            )
+        g._num_nodes = int(num_nodes)
+        if validate and m:
+            if bool((g.src < 0).any()) or bool((g.dst < 0).any()):
+                raise ValueError("node ids must be non-negative")
+            if bool((np.diff(g.ts) <= 0).any()):
+                raise ValueError("timestamps must be strictly increasing")
+
+        have_out = out_offsets is not None and out_edge_idx is not None
+        have_in = in_offsets is not None and in_edge_idx is not None
+        if have_out:
+            g.out_offsets = np.asarray(out_offsets, dtype=np.int64)
+            g.out_edge_idx = np.asarray(out_edge_idx, dtype=np.int64)
+        else:
+            g.out_offsets, g.out_edge_idx = g._build_csr(g.src)
+        if have_in:
+            g.in_offsets = np.asarray(in_offsets, dtype=np.int64)
+            g.in_edge_idx = np.asarray(in_edge_idx, dtype=np.int64)
+        else:
+            g.in_offsets, g.in_edge_idx = g._build_csr(g.dst)
+        if validate:
+            for name, offs, idx in (
+                ("out", g.out_offsets, g.out_edge_idx),
+                ("in", g.in_offsets, g.in_edge_idx),
+            ):
+                if len(offs) != g._num_nodes + 1 or len(idx) != m:
+                    raise ValueError(f"{name} CSR arrays have inconsistent shape")
+        return g
+
+    def as_arrays(self) -> dict:
+        """The seven backing arrays, keyed by :meth:`from_arrays` argument
+        name — the wire format the parallel workers adopt zero-copy."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "ts": self.ts,
+            "out_offsets": self.out_offsets,
+            "out_edge_idx": self.out_edge_idx,
+            "in_offsets": self.in_offsets,
+            "in_edge_idx": self.in_edge_idx,
+        }
 
     # -- basic accessors -------------------------------------------------------
 
@@ -169,6 +267,31 @@ class TemporalGraph:
     def in_edges(self, v: int) -> np.ndarray:
         """Edge indices of ``v``'s incoming edges, chronologically sorted."""
         return self.in_edge_idx[self.in_offsets[v] : self.in_offsets[v + 1]]
+
+    def adjacency_lists(self) -> Tuple[List[int], List[int], List[int], List[List[int]], List[List[int]]]:
+        """Plain-Python views ``(src, dst, ts, out, in)`` for the software miners.
+
+        The tight DFS scanning loops in :class:`~repro.mining.mackey.MackeyMiner`
+        are markedly faster over Python lists than numpy scalars.  The
+        conversion is O(m + n) and cached on the graph, so constructing
+        many miners over one graph (the 36-motif census, or per-worker
+        miner caches in the parallel layer) converts exactly once.
+        """
+        cache = getattr(self, "_pylist_cache", None)
+        if cache is None:
+            out_off = self.out_offsets.tolist()
+            in_off = self.in_offsets.tolist()
+            out_idx = self.out_edge_idx.tolist()
+            in_idx = self.in_edge_idx.tolist()
+            cache = (
+                self.src.tolist(),
+                self.dst.tolist(),
+                self.ts.tolist(),
+                [out_idx[out_off[u] : out_off[u + 1]] for u in range(self._num_nodes)],
+                [in_idx[in_off[v] : in_off[v + 1]] for v in range(self._num_nodes)],
+            )
+            self._pylist_cache = cache
+        return cache
 
     def out_degree(self, u: int) -> int:
         return int(self.out_offsets[u + 1] - self.out_offsets[u])

@@ -92,16 +92,11 @@ class MackeyMiner:
         self.on_match = on_match
 
         # Plain python lists are markedly faster than numpy scalars in the
-        # tight scanning loops below.
-        self._src: List[int] = graph.src.tolist()
-        self._dst: List[int] = graph.dst.tolist()
-        self._ts: List[int] = graph.ts.tolist()
-        self._out: List[List[int]] = [
-            graph.out_edges(u).tolist() for u in range(graph.num_nodes)
-        ]
-        self._in: List[List[int]] = [
-            graph.in_edges(v).tolist() for v in range(graph.num_nodes)
-        ]
+        # tight scanning loops below; the conversion is cached on the
+        # graph so many miners over one graph convert once.
+        self._src, self._dst, self._ts, self._out, self._in = (
+            graph.adjacency_lists()
+        )
         # Memo tables: node -> (position, root_edge_index) per direction.
         self._memo: Dict[str, Dict[int, Tuple[int, int]]] = {"out": {}, "in": {}}
 

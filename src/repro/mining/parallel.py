@@ -7,40 +7,116 @@ root tasks (search trees) are independent, so they are partitioned into
 chunks and mined by a pool of worker processes, with per-worker counters
 merged at the end.
 
-Because Python processes don't share memory, each worker rebuilds its
-adjacency views from the (pickled) edge arrays once per chunk batch —
-fine for the library's scale, and the work-stealing effect is
-approximated by over-partitioning (``chunks_per_worker``) so stragglers
-(hub-rooted trees) don't serialize the tail.
+Two properties make the layer cheap enough to approximate the OpenMP
+baseline:
+
+- **Zero-copy graph shipping.**  The graph's seven backing numpy arrays
+  (edge list + both CSR adjacency structures) are placed in one
+  ``multiprocessing.shared_memory`` segment; workers adopt views of
+  that segment via :meth:`TemporalGraph.from_arrays`, so no per-run
+  pickling of Python tuples and no CSR rebuild happens in workers.
+  Where shared memory is unavailable the arrays are pickled once per
+  worker as raw buffers (still no tuple explosion).
+- **Dynamic chunk dispatch.**  Root ranges are cut with a guided
+  (decaying-size) schedule and handed to workers through a bounded
+  in-flight window driven by ``concurrent.futures.wait``: whenever any
+  chunk finishes, the next chunk is dispatched to the freed worker.
+  Hub-rooted straggler chunks therefore no longer serialize the tail
+  the way a barrier-style ``pool.map`` over static chunks did — the
+  work-stealing effect of the paper's baseline, without threads.
+
+:class:`MiningPool` keeps the worker pool (and the resident graph)
+alive across many ``count`` calls, so multi-motif workloads such as the
+36-motif Paranjape census ship the graph exactly once.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.mackey import MackeyMiner
 from repro.mining.results import MiningResult, SearchCounters
 from repro.motifs.motif import Motif
 
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
 # Module-level worker state (set up once per worker process via the
-# initializer so the graph is not re-pickled per chunk).
+# initializer so the graph is shipped exactly once, not per chunk).
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(edges: List[Tuple[int, int, int]], num_nodes: int,
-                 motif_edges: Tuple[Tuple[int, int], ...], delta: int) -> None:
-    graph = TemporalGraph(edges, num_nodes=num_nodes)
-    motif = Motif(motif_edges)
-    _WORKER_STATE["miner"] = _RangeMiner(graph, motif, delta)
+# -- worker side ---------------------------------------------------------------
 
 
-def _mine_chunk(bounds: Tuple[int, int]) -> Tuple[int, dict]:
-    miner: _RangeMiner = _WORKER_STATE["miner"]
-    result = miner.mine_range(*bounds)
+def _adopt_graph(arrays: Dict[str, np.ndarray], num_nodes: int) -> None:
+    graph = TemporalGraph.from_arrays(num_nodes=num_nodes, validate=False, **arrays)
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["miners"] = {}
+
+
+def _attach_untracked(shm_name: str):
+    """Attach to an existing segment without resource-tracker bookkeeping.
+
+    The parent owns (and unlinks) the segment; if every worker also
+    registered it, the tracker would warn about double-unregistration at
+    shutdown.  Python >= 3.13 exposes ``track=False`` for exactly this;
+    older versions need the register call suppressed during attach.
+    """
+    try:
+        return _shm.SharedMemory(name=shm_name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return _shm.SharedMemory(name=shm_name)
+        finally:
+            resource_tracker.register = original
+
+
+def _init_worker_shm(
+    shm_name: str, layout: Dict[str, Tuple[int, int]], num_nodes: int
+) -> None:
+    """Attach the shared-memory segment and adopt zero-copy array views."""
+    seg = _attach_untracked(shm_name)
+    _WORKER_STATE["shm"] = seg  # keep the mapping alive
+    arrays = {
+        name: np.ndarray((length,), dtype=np.int64, buffer=seg.buf, offset=start * 8)
+        for name, (start, length) in layout.items()
+    }
+    _adopt_graph(arrays, num_nodes)
+
+
+def _init_worker_arrays(arrays: Dict[str, np.ndarray], num_nodes: int) -> None:
+    """Fallback initializer: arrays arrive pickled once per worker."""
+    _adopt_graph(arrays, num_nodes)
+
+
+def _miner_for(motif_edges: Tuple[Tuple[int, int], ...], delta: int) -> "_RangeMiner":
+    miners: dict = _WORKER_STATE["miners"]
+    key = (motif_edges, delta)
+    miner = miners.get(key)
+    if miner is None:
+        miner = _RangeMiner(_WORKER_STATE["graph"], Motif(motif_edges), delta)
+        miners[key] = miner
+    return miner
+
+
+def _mine_chunk(
+    task: Tuple[Tuple[Tuple[int, int], ...], int, int, int]
+) -> Tuple[int, dict]:
+    motif_edges, delta, lo, hi = task
+    result = _miner_for(motif_edges, delta).mine_range(lo, hi)
     return result.count, result.counters.as_dict()
 
 
@@ -87,12 +163,173 @@ class _RangeMiner(MackeyMiner):
         return MiningResult(count=self._count, counters=counters)
 
 
+# -- parent side ---------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class ParallelResult:
     count: int
     counters: SearchCounters
     num_workers: int
     num_chunks: int
+
+
+def _guided_bounds(
+    num_edges: int, num_workers: int, chunks_per_worker: int
+) -> List[Tuple[int, int]]:
+    """Guided (decaying-size) root-range schedule over ``[0, num_edges)``.
+
+    Early chunks are large (low dispatch overhead); the tail is cut into
+    chunks no smaller than ``num_edges / (workers * chunks_per_worker)``
+    so a late hub-rooted range cannot hold the whole pool hostage —
+    OpenMP's ``schedule(guided)``, which the work-stealing baseline
+    approximates.
+    """
+    bounds: List[Tuple[int, int]] = []
+    min_chunk = max(1, num_edges // max(1, num_workers * chunks_per_worker))
+    lo = 0
+    while lo < num_edges:
+        size = max(min_chunk, (num_edges - lo) // (2 * num_workers))
+        hi = min(num_edges, lo + size)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class MiningPool:
+    """A worker pool with the graph resident (zero-copy) in every worker.
+
+    The graph is shipped once at pool construction — through a
+    ``multiprocessing.shared_memory`` segment when the platform supports
+    it, otherwise by pickling the numpy arrays once per worker — and
+    every subsequent :meth:`count` / :meth:`count_many` call only sends
+    tiny ``(motif, delta, root range)`` task tuples.  Use as a context
+    manager so the shared segment is always unlinked.
+    """
+
+    def __init__(self, graph: TemporalGraph, num_workers: Optional[int] = None) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise ValueError("MiningPool needs at least one worker")
+        self.graph = graph
+        self.num_workers = int(num_workers)
+        self._seg = None
+        initializer, initargs = self._make_initializer(graph)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def _make_initializer(self, graph: TemporalGraph):
+        arrays = graph.as_arrays()
+        if _shm is not None:
+            try:
+                total = sum(len(a) for a in arrays.values())
+                seg = _shm.SharedMemory(create=True, size=max(1, total * 8))
+                layout: Dict[str, Tuple[int, int]] = {}
+                start = 0
+                for name, a in arrays.items():
+                    length = len(a)
+                    view = np.ndarray(
+                        (length,), dtype=np.int64, buffer=seg.buf, offset=start * 8
+                    )
+                    view[:] = np.asarray(a, dtype=np.int64)
+                    layout[name] = (start, length)
+                    start += length
+                self._seg = seg
+                return _init_worker_shm, (seg.name, layout, graph.num_nodes)
+            except OSError:  # pragma: no cover - e.g. /dev/shm unavailable
+                self._seg = None
+        contiguous = {
+            name: np.ascontiguousarray(a, dtype=np.int64)
+            for name, a in arrays.items()
+        }
+        return _init_worker_arrays, (contiguous, graph.num_nodes)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        if self._seg is not None:
+            self._seg.close()
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._seg = None
+
+    def __enter__(self) -> "MiningPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mining ----------------------------------------------------------------
+
+    def count(
+        self, motif: Motif, delta: int, chunks_per_worker: int = 8
+    ) -> ParallelResult:
+        """Exactly count one motif; results identical to :class:`MackeyMiner`."""
+        return self.count_many([motif], delta, chunks_per_worker)[0]
+
+    def count_many(
+        self, motifs: Sequence[Motif], delta: int, chunks_per_worker: int = 8
+    ) -> List[ParallelResult]:
+        """Count several motifs in one dispatch wave.
+
+        All motifs' chunks share the dynamic dispatch window, so workers
+        drain straight from one motif's tail into the next motif's head
+        with no inter-motif barrier.
+        """
+        m = self.graph.num_edges
+        totals = [0] * len(motifs)
+        merged = [SearchCounters() for _ in motifs]
+        chunk_counts = [0] * len(motifs)
+        if m == 0 or not motifs:
+            return [
+                ParallelResult(totals[i], merged[i], self.num_workers, 0)
+                for i in range(len(motifs))
+            ]
+
+        bounds = _guided_bounds(m, self.num_workers, chunks_per_worker)
+        tasks = [
+            (i, motif.edges, int(delta), lo, hi)
+            for i, motif in enumerate(motifs)
+            for lo, hi in bounds
+        ]
+        for i in range(len(motifs)):
+            chunk_counts[i] = len(bounds)
+
+        task_iter = iter(tasks)
+        pending: Dict = {}
+
+        def submit_next() -> None:
+            try:
+                idx, edges, d, lo, hi = next(task_iter)
+            except StopIteration:
+                return
+            fut = self._pool.submit(_mine_chunk, (edges, d, lo, hi))
+            pending[fut] = idx
+
+        # Keep a bounded in-flight window: whenever any chunk completes,
+        # dispatch the next one to the freed worker (dynamic scheduling).
+        for _ in range(2 * self.num_workers):
+            submit_next()
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx = pending.pop(fut)
+                count, counter_dict = fut.result()
+                totals[idx] += count
+                merged[idx].merge(SearchCounters(**counter_dict))
+                submit_next()
+
+        return [
+            ParallelResult(totals[i], merged[i], self.num_workers, chunk_counts[i])
+            for i in range(len(motifs))
+        ]
 
 
 def count_motifs_parallel(
@@ -111,31 +348,8 @@ def count_motifs_parallel(
     """
     if num_workers is None:
         num_workers = os.cpu_count() or 1
-    m = graph.num_edges
-    if num_workers <= 0 or m == 0:
+    if num_workers <= 0 or graph.num_edges == 0:
         result = MackeyMiner(graph, motif, delta).mine()
         return ParallelResult(result.count, result.counters, 0, 1)
-
-    num_chunks = max(1, min(m, num_workers * chunks_per_worker))
-    bounds = []
-    step = m / num_chunks
-    for i in range(num_chunks):
-        lo, hi = int(i * step), int((i + 1) * step)
-        if i == num_chunks - 1:
-            hi = m
-        if hi > lo:
-            bounds.append((lo, hi))
-
-    edges = list(zip(graph.src.tolist(), graph.dst.tolist(), graph.ts.tolist()))
-    total = 0
-    merged = SearchCounters()
-    with ProcessPoolExecutor(
-        max_workers=num_workers,
-        initializer=_init_worker,
-        initargs=(edges, graph.num_nodes, motif.edges, int(delta)),
-    ) as pool:
-        for count, counter_dict in pool.map(_mine_chunk, bounds):
-            total += count
-            part = SearchCounters(**counter_dict)
-            merged.merge(part)
-    return ParallelResult(total, merged, num_workers, len(bounds))
+    with MiningPool(graph, num_workers) as pool:
+        return pool.count(motif, delta, chunks_per_worker)

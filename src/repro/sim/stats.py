@@ -27,6 +27,9 @@ class SimReport:
     pe_busy_cycles: int
     #: Cycles PEs spent waiting on the memory system.
     pe_memory_wait_cycles: int
+    #: §VI-B task-coalescing ablation: streams that found an identical
+    #: scan already in flight (0 unless ``task_coalescing=True``).
+    merged_scan_opportunities: int = 0
 
     @property
     def seconds(self) -> float:
@@ -65,4 +68,5 @@ class SimReport:
             "cache_hit_rate": self.cache_hit_rate,
             "memory_wait_fraction": self.memory_wait_fraction,
             "row_hit_rate": self.dram.row_hit_rate,
+            "merged_scan_opportunities": self.merged_scan_opportunities,
         }

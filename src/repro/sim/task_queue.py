@@ -3,10 +3,19 @@
 The task queue stores root book-keeping tasks — one per graph edge, in
 chronological order — and offloads them to context managers.  Each entry
 carries just the graph edge index ``e_G`` (4 B); the host streams entries
-in, so the queue never starves while root tasks remain.  Dequeueing takes
-one cycle and the queue has a single port, so PEs requesting new trees
-simultaneously serialize — which the simulator models with a shared
-next-free cycle.
+in, so with the default refill rate the queue never starves while root
+tasks remain.  Dequeueing takes one cycle and the queue has a single
+port, so PEs requesting new trees simultaneously serialize — which the
+simulator models with a shared next-free cycle.
+
+The ``entries`` capacity is modeled, not just stored: the queue starts
+prefilled with ``entries`` root tasks and the host streams one further
+entry every ``refill_cycles`` cycles, so entry ``i`` only becomes
+dequeueable at cycle ``max(0, (i - entries + 1) * refill_cycles)``.
+With the paper's configuration (16 entries, one dequeue per cycle, host
+refill of one entry per cycle) the bound never binds; a slow host link
+(``refill_cycles > 1``) makes a shallow queue starve, which
+``stats.starve_cycles`` records.
 """
 
 from __future__ import annotations
@@ -19,19 +28,31 @@ from typing import Optional, Tuple
 class TaskQueueStats:
     dequeues: int = 0
     contention_cycles: int = 0
+    #: Cycles dequeues stalled because the host had not yet streamed the
+    #: entry into the (finite) queue.
+    starve_cycles: int = 0
 
 
 class RootTaskQueue:
     """Serves root edge indices ``0..num_edges-1`` in chronological order."""
 
-    def __init__(self, num_edges: int, dequeue_cycles: int = 1, entries: int = 16) -> None:
+    def __init__(
+        self,
+        num_edges: int,
+        dequeue_cycles: int = 1,
+        entries: int = 16,
+        refill_cycles: int = 1,
+    ) -> None:
         if dequeue_cycles < 1:
             raise ValueError("dequeue_cycles must be >= 1")
         if entries < 1:
             raise ValueError("entries must be >= 1")
+        if refill_cycles < 1:
+            raise ValueError("refill_cycles must be >= 1")
         self.num_edges = num_edges
         self.dequeue_cycles = dequeue_cycles
         self.entries = entries
+        self.refill_cycles = refill_cycles
         self._next_root = 0
         self._port_free = 0
         self.stats = TaskQueueStats()
@@ -39,6 +60,10 @@ class RootTaskQueue:
     @property
     def remaining(self) -> int:
         return self.num_edges - self._next_root
+
+    def _available_at(self, root: int) -> int:
+        """Cycle at which the host has streamed entry ``root`` into the queue."""
+        return max(0, (root - self.entries + 1) * self.refill_cycles)
 
     def dequeue(self, now: int) -> Optional[Tuple[int, int]]:
         """Pop the next root task at cycle ``now``.
@@ -48,11 +73,15 @@ class RootTaskQueue:
         """
         if self._next_root >= self.num_edges:
             return None
+        root = self._next_root
         start = max(now, self._port_free)
         self.stats.contention_cycles += start - now
+        available = self._available_at(root)
+        if available > start:
+            self.stats.starve_cycles += available - start
+            start = available
         ready = start + self.dequeue_cycles
         self._port_free = ready
-        root = self._next_root
         self._next_root += 1
         self.stats.dequeues += 1
         return root, ready

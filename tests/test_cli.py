@@ -49,6 +49,28 @@ class TestMine:
               "--show-matches", "2"])
         out = capsys.readouterr().out
         assert "candidates examined" in out
+        # Recording is capped at N: exactly N match lines are printed.
+        assert out.count("  match:") == 2
+
+    def test_mine_workers_matches_serial(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 30
+        from repro.mining.mackey import count_motifs
+        from repro.motifs.catalog import M1
+
+        expected = count_motifs(g, M1, delta)
+        assert main(["mine", path, "--motif", "M1", "--delta", str(delta),
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f": {expected}" in out
+        assert "2 workers" in out
+
+    def test_mine_workers_rejects_show_matches(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(["mine", path, "--delta", str(delta), "--workers", "2",
+                     "--show-matches", "1"]) == 2
+        assert "error" in capsys.readouterr().out
 
 
 class TestOtherCommands:
@@ -64,6 +86,15 @@ class TestOtherCommands:
         assert main(["census", path, "--delta", str(delta)]) == 0
         out = capsys.readouterr().out
         assert "r6" in out and "total:" in out
+
+    def test_census_workers_matches_serial(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 60
+        assert main(["census", path, "--delta", str(delta)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["census", path, "--delta", str(delta),
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
 
     def test_simulate(self, graph_file, capsys):
         path, g = graph_file

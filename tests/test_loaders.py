@@ -23,6 +23,19 @@ class TestRoundTrip:
         loaded = load_snap_text(path)
         assert loaded.num_edges == tiny_graph.num_edges
 
+    def test_gzip_large_timestamp_roundtrip(self, tmp_path):
+        # Timestamps above 2**53 are not representable in a float64;
+        # parsing must go through int() to survive the round trip.
+        big = 2**60 + 3
+        g = TemporalGraph([(0, 1, big), (1, 2, big + 7)])
+        path = tmp_path / "g.txt.gz"
+        save_snap_text(g, path)
+        loaded = load_snap_text(path)
+        assert [e.as_tuple() for e in loaded.edges()] == [
+            (0, 1, big),
+            (1, 2, big + 7),
+        ]
+
 
 class TestParsing:
     def test_comments_and_blanks_skipped(self, tmp_path):
@@ -40,6 +53,14 @@ class TestParsing:
         path = tmp_path / "g.txt"
         path.write_text("0 1 10.7\n")
         assert load_snap_text(path).edge(0).t == 10
+
+    def test_large_integer_timestamps_exact(self, tmp_path):
+        # int(float("9007199254740993")) would give ...992; the integer
+        # fast path must keep the exact value.
+        t = 2**53 + 1
+        path = tmp_path / "g.txt"
+        path.write_text(f"0 1 {t}\n")
+        assert load_snap_text(path).edge(0).t == t
 
     def test_short_line_rejected(self, tmp_path):
         path = tmp_path / "g.txt"

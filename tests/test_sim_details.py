@@ -65,6 +65,54 @@ class TestStreamTiming:
         assert rep.cycles < 1000
 
 
+class TestStreamCoalescer:
+    """The §VI-B coalescing tracker must stay bounded and count merges."""
+
+    def test_identical_in_flight_scan_counts_as_merge(self):
+        from repro.sim.accelerator import _StreamCoalescer
+
+        c = _StreamCoalescer()
+        c.observe(addr=64, nbytes=128, start=0, done=50)
+        c.observe(addr=64, nbytes=128, start=10, done=60)  # overlaps
+        assert c.merged_opportunities == 1
+
+    def test_completed_scans_are_evicted(self):
+        from repro.sim.accelerator import _StreamCoalescer
+
+        c = _StreamCoalescer()
+        c.observe(addr=64, nbytes=128, start=0, done=5)
+        c.observe(addr=128, nbytes=64, start=10, done=20)  # evicts the first
+        assert (64, 128) not in c.recent
+        c.observe(addr=64, nbytes=128, start=30, done=40)  # not a merge
+        assert c.merged_opportunities == 0
+
+    def test_table_bounded_by_in_flight_streams(self):
+        from repro.sim.accelerator import _StreamCoalescer
+
+        c = _StreamCoalescer()
+        for i in range(10_000):
+            c.observe(addr=64 * i, nbytes=64, start=i, done=i + 2)
+        assert len(c.recent) <= 3
+
+    def test_simulator_reports_opportunities(self):
+        g = make_dataset("email-eu", scale=0.05, seed=9)
+        delta = g.time_span // 30
+        cfg = MintConfig(
+            num_pes=8,
+            task_coalescing=True,
+            cache=CacheConfig(num_banks=16, bank_kb=1),
+        )
+        rep = MintSimulator(g, M1, delta, cfg).run()
+        assert rep.merged_scan_opportunities >= 0
+        assert rep.summary()["merged_scan_opportunities"] == (
+            rep.merged_scan_opportunities
+        )
+        off = MintSimulator(
+            g, M1, delta, dataclasses.replace(cfg, task_coalescing=False)
+        ).run()
+        assert off.merged_scan_opportunities == 0
+
+
 class TestLayoutScaling:
     def test_total_bytes_scale_with_graph(self):
         small = GraphMemoryLayout.for_graph(

@@ -48,3 +48,33 @@ class TestDequeue:
             RootTaskQueue(1, dequeue_cycles=0)
         with pytest.raises(ValueError):
             RootTaskQueue(1, entries=0)
+        with pytest.raises(ValueError):
+            RootTaskQueue(1, refill_cycles=0)
+
+
+class TestRefillBound:
+    def test_default_refill_never_starves(self):
+        # With one entry refilled per cycle and a single-cycle dequeue
+        # port, the host always stays ahead of the queue (paper config).
+        q = RootTaskQueue(num_edges=100, entries=16)
+        for _ in range(100):
+            q.dequeue(0)
+        assert q.stats.starve_cycles == 0
+
+    def test_shallow_queue_with_slow_host_starves(self):
+        q = RootTaskQueue(num_edges=3, entries=1, refill_cycles=10)
+        root0, r0 = q.dequeue(0)
+        root1, r1 = q.dequeue(r0)
+        root2, r2 = q.dequeue(r1)
+        assert (root0, root1, root2) == (0, 1, 2)
+        # Entry 1 only arrives at cycle 10, entry 2 at cycle 20.
+        assert r1 == 11
+        assert r2 == 21
+        assert q.stats.starve_cycles == (10 - 1) + (20 - 11)
+
+    def test_deep_queue_absorbs_slow_host(self):
+        q = RootTaskQueue(num_edges=3, entries=16, refill_cycles=10)
+        q.dequeue(0)
+        q.dequeue(0)
+        q.dequeue(0)
+        assert q.stats.starve_cycles == 0
