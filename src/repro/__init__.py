@@ -17,6 +17,9 @@ The package is organized by subsystem:
   used for the paper's speedup comparisons (§VII-B, §VII-D).
 - :mod:`repro.analysis` — experiment orchestration for every table and
   figure, area/power modeling (Fig. 14) and reporting helpers.
+- :mod:`repro.streaming` — incremental sliding-window motif counting
+  over live edge streams, with the batch miners as differential oracle
+  (an online-workload extension beyond the paper).
 """
 
 from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
@@ -28,6 +31,11 @@ from repro.mining.presto import PrestoEstimator
 from repro.mining.paranjape import ParanjapeMiner
 from repro.sim.config import MintConfig
 from repro.sim.accelerator import MintSimulator
+from repro.streaming.counter import (
+    StreamingCatalogCounter,
+    StreamingCounter,
+    StreamingGridCounter,
+)
 
 __version__ = "1.0.0"
 
@@ -47,5 +55,8 @@ __all__ = [
     "ParanjapeMiner",
     "MintConfig",
     "MintSimulator",
+    "StreamingCatalogCounter",
+    "StreamingCounter",
+    "StreamingGridCounter",
     "__version__",
 ]

@@ -16,6 +16,15 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def format_rate(value: float, unit: str) -> str:
+    """Human-readable rate, e.g. ``12.3k edges/s`` (streaming reports)."""
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M {unit}"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k {unit}"
+    return f"{value:.1f} {unit}"
+
+
 def _stringify(rows: Sequence[Sequence]) -> List[List[str]]:
     out: List[List[str]] = []
     for row in rows:

@@ -9,6 +9,8 @@ Commands
 - ``simulate`` — run the Mint accelerator simulator on a workload.
 - ``experiment`` — regenerate one of the paper's tables/figures.
 - ``info`` — dataset statistics (Table I style) for a graph file.
+- ``stream`` — replay a dataset as an event stream through the
+  incremental sliding-window counter (online workload).
 """
 
 from __future__ import annotations
@@ -111,6 +113,45 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="dataset statistics for a graph file")
     info.add_argument("graph")
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a dataset as an event stream (incremental counting)",
+    )
+    stream.add_argument(
+        "graph",
+        help="SNAP text file, or a generator dataset name "
+        f"({', '.join(DATASET_NAMES)})",
+    )
+    stream.add_argument("--delta", type=int, required=True, help="window (s)")
+    stream.add_argument("--motif", default="M1", help="catalog motif name")
+    stream.add_argument(
+        "--catalog",
+        action="store_true",
+        help="count the full evaluation+extra motif catalog",
+    )
+    stream.add_argument(
+        "--grid",
+        action="store_true",
+        help="count the Paranjape 36-motif grid incrementally",
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="edges ingested per batch (default 64)",
+    )
+    stream.add_argument(
+        "--max-edges", type=int, default=None, metavar="N",
+        help="replay only the first N edges (prefix stream)",
+    )
+    stream.add_argument(
+        "--per-batch",
+        action="store_true",
+        help="print the per-batch throughput/latency/occupancy table",
+    )
+    stream.add_argument("--scale", type=float, default=1.0,
+                        help="generator scale (dataset-name inputs)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="generator seed (dataset-name inputs)")
 
     return parser
 
@@ -256,6 +297,64 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    import os
+
+    from repro.motifs.catalog import motif_by_name as _by_name
+    from repro.streaming import (
+        StreamingCatalogCounter,
+        StreamingCounter,
+        StreamingGridCounter,
+        format_batch_table,
+        format_replay_summary,
+        replay_stream,
+    )
+
+    if args.catalog and args.grid:
+        print("error: --catalog and --grid are mutually exclusive")
+        return 2
+    if os.path.exists(args.graph):
+        graph = _load(args.graph)
+        source = args.graph
+    elif args.graph in DATASET_NAMES or args.graph in {
+        "em", "mo", "ub", "su", "wt", "so"
+    }:
+        graph = make_dataset(args.graph, scale=args.scale, seed=args.seed)
+        source = f"{args.graph} (generated, scale={args.scale}, seed={args.seed})"
+    else:
+        print(f"error: {args.graph!r} is neither a file nor a dataset name")
+        return 2
+
+    if args.grid:
+        counter = StreamingGridCounter(args.delta)
+        what = "36-motif grid"
+    elif args.catalog:
+        counter = StreamingCatalogCounter(delta=args.delta)
+        what = "motif catalog"
+    else:
+        counter = StreamingCounter(_by_name(args.motif), args.delta)
+        what = args.motif
+
+    result = replay_stream(
+        graph, counter, batch_size=args.batch_size, max_edges=args.max_edges
+    )
+    print(f"streamed {source} through {what} (delta={args.delta}s)")
+    print(format_replay_summary(result))
+    if args.per_batch:
+        print(format_batch_table(result, max_rows=200))
+    if args.grid:
+        from repro.mining.multi import render_grid
+
+        print(render_grid(counter.grid_counts))
+        print(f"total: {counter.count:,}")
+    elif args.catalog:
+        rows = sorted(counter.counts.items())
+        print(format_table(["motif", "count"], rows))
+    else:
+        print(f"{args.motif} count: {counter.count:,}")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "mine": cmd_mine,
@@ -263,6 +362,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "experiment": cmd_experiment,
     "info": cmd_info,
+    "stream": cmd_stream,
 }
 
 

@@ -1,0 +1,191 @@
+"""Replay a finished dataset as an event stream, with per-batch stats.
+
+This is the bridge between the batch world (loaders, generators,
+:class:`~repro.graph.temporal_graph.TemporalGraph`) and the streaming
+engine: edges are fed to a counter in arrival order in batches of a
+configurable size, and every batch records throughput, latency and
+occupancy — the operational metrics an online deployment would watch.
+
+The rendered report goes through :mod:`repro.analysis.reporting` like
+every other table in the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.analysis.reporting import format_rate, format_table
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Operational metrics for one replayed batch."""
+
+    index: int
+    num_edges: int
+    elapsed_s: float
+    completed: int  #: matches completed by this batch (all motifs)
+    live_partials: int  #: continuation-table occupancy after the batch
+    window_edges: int  #: sliding-window ring occupancy after the batch
+    t_now: int  #: stream clock (adjusted timestamp) after the batch
+
+    @property
+    def edges_per_sec(self) -> float:
+        return self.num_edges / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def latency_us_per_edge(self) -> float:
+        return (
+            self.elapsed_s / self.num_edges * 1e6 if self.num_edges else 0.0
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Totals plus the per-batch series for one replayed stream."""
+
+    batch_size: int
+    total_edges: int
+    total_s: float
+    total_completed: int
+    peak_live_partials: int
+    peak_window_edges: int
+    final_live_partials: int
+    evicted_partials: int
+    batches: List[BatchStats] = field(default_factory=list)
+
+    @property
+    def edges_per_sec(self) -> float:
+        return self.total_edges / self.total_s if self.total_s > 0 else 0.0
+
+    def summary_rows(self) -> List[List[str]]:
+        """``[metric, value]`` rows for the standard report table."""
+        return [
+            ["edges replayed", f"{self.total_edges:,}"],
+            ["batch size", f"{self.batch_size:,}"],
+            ["batches", f"{len(self.batches):,}"],
+            ["elapsed (s)", f"{self.total_s:.3f}"],
+            ["throughput", format_rate(self.edges_per_sec, "edges/s")],
+            ["matches completed", f"{self.total_completed:,}"],
+            ["peak live partials", f"{self.peak_live_partials:,}"],
+            ["final live partials", f"{self.final_live_partials:,}"],
+            ["evicted partials", f"{self.evicted_partials:,}"],
+            ["peak window edges", f"{self.peak_window_edges:,}"],
+        ]
+
+
+def iter_batches(
+    graph: TemporalGraph, batch_size: int
+) -> Iterator[List[Tuple[int, int, int]]]:
+    """Yield the graph's edges in arrival order, ``batch_size`` at a time."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    src = graph.src.tolist()
+    dst = graph.dst.tolist()
+    ts = graph.ts.tolist()
+    for lo in range(0, len(src), batch_size):
+        hi = lo + batch_size
+        yield list(zip(src[lo:hi], dst[lo:hi], ts[lo:hi]))
+
+
+def replay_stream(
+    graph: TemporalGraph,
+    counter,
+    batch_size: int = 64,
+    max_edges: int | None = None,
+) -> ReplayResult:
+    """Replay ``graph`` into ``counter`` and collect per-batch stats.
+
+    ``counter`` is any of the streaming counters (single-motif, catalog
+    or grid) — they share the ``add_batch`` / occupancy interface.
+    ``max_edges`` truncates the replay (prefix streams for parity
+    tests and demos).
+    """
+    batches: List[BatchStats] = []
+    total_completed = 0
+    total_s = 0.0
+    total_edges = 0
+    peak_live = 0
+    peak_window = 0
+    for i, batch in enumerate(iter_batches(graph, batch_size)):
+        if max_edges is not None and total_edges >= max_edges:
+            break
+        if max_edges is not None and total_edges + len(batch) > max_edges:
+            batch = batch[: max_edges - total_edges]
+        t0 = time.perf_counter()
+        completed = counter.add_batch(batch)
+        elapsed = time.perf_counter() - t0
+        live = counter.live_partials
+        window = counter.window_size
+        batches.append(
+            BatchStats(
+                index=i,
+                num_edges=len(batch),
+                elapsed_s=elapsed,
+                completed=completed,
+                live_partials=live,
+                window_edges=window,
+                t_now=int(counter.buffer.t_now or 0),
+            )
+        )
+        total_completed += completed
+        total_s += elapsed
+        total_edges += len(batch)
+        peak_live = max(peak_live, live)
+        peak_window = max(peak_window, window)
+    return ReplayResult(
+        batch_size=batch_size,
+        total_edges=total_edges,
+        total_s=total_s,
+        total_completed=total_completed,
+        peak_live_partials=max(peak_live, counter.peak_live_partials),
+        peak_window_edges=max(peak_window, counter.buffer.peak_window_size),
+        final_live_partials=counter.live_partials,
+        evicted_partials=counter.evicted_partials,
+        batches=batches,
+    )
+
+
+def format_replay_summary(result: ReplayResult) -> str:
+    """Render the replay's summary as the standard two-column table."""
+    return format_table(["metric", "value"], result.summary_rows())
+
+
+def format_batch_table(
+    result: ReplayResult, max_rows: int | None = None
+) -> str:
+    """Render the per-batch throughput/latency/occupancy series."""
+    rows = []
+    batches = result.batches
+    if max_rows is not None and len(batches) > max_rows:
+        batches = batches[:max_rows]
+    for b in batches:
+        rows.append(
+            [
+                b.index,
+                b.num_edges,
+                format_rate(b.edges_per_sec, "edges/s"),
+                f"{b.latency_us_per_edge:.1f}",
+                b.completed,
+                b.live_partials,
+                b.window_edges,
+            ]
+        )
+    table = format_table(
+        [
+            "batch",
+            "edges",
+            "throughput",
+            "us/edge",
+            "matches",
+            "live partials",
+            "window edges",
+        ],
+        rows,
+    )
+    if max_rows is not None and len(result.batches) > max_rows:
+        table += f"\n... ({len(result.batches) - max_rows} more batches)"
+    return table

@@ -1,0 +1,167 @@
+"""δ-boundary adversarial cases shared by the batch property suite
+(``test_property.py``) and the streaming differential suite
+(``test_streaming_parity.py``).
+
+Each case is a concrete ``(edges, motif, delta, expected)`` quadruple
+exercising the exact semantics of §II-A that off-by-one bugs hit first:
+
+- the window constraint is **inclusive** (``t_l - t_1 <= δ``): a match
+  whose span is exactly δ counts, one second wider does not;
+- duplicate raw timestamps at the window edge are uniquified by the
+  deterministic nudge (``t' = max(t, prev' + 1)``), which can push the
+  last edge of a would-be match just past the window;
+- self-loop graph edges never participate in a match (motif edges are
+  never self-loops), in any position — root, middle, or final edge.
+
+``expected`` is the hand-derived count; every miner — Mackey,
+brute-force, task-centric, and the streaming engine — must report it
+*identically*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.bruteforce import brute_force_count
+from repro.mining.mackey import count_motifs
+from repro.mining.taskcentric import TaskCentricMiner
+from repro.motifs.catalog import M1, M2, PATH3, PING_PONG
+from repro.motifs.motif import Motif
+from repro.streaming.counter import stream_count
+
+
+@dataclass(frozen=True)
+class DeltaCase:
+    name: str
+    edges: Tuple[Tuple[int, int, int], ...]
+    motif: Motif
+    delta: int
+    expected: int
+
+    def graph(self) -> TemporalGraph:
+        return TemporalGraph(self.edges)
+
+
+DELTA_BOUNDARY_CASES: List[DeltaCase] = [
+    # -- exact-span matches: t_l - t_1 == δ is IN the window ------------------
+    DeltaCase(
+        name="m1-span-exactly-delta",
+        edges=((0, 1, 0), (1, 2, 50), (2, 0, 100)),
+        motif=M1,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="m1-span-delta-plus-one",
+        edges=((0, 1, 0), (1, 2, 50), (2, 0, 101)),
+        motif=M1,
+        delta=100,
+        expected=0,
+    ),
+    DeltaCase(
+        name="pingpong-span-exactly-delta",
+        edges=((3, 4, 10), (4, 3, 17)),
+        motif=PING_PONG,
+        delta=7,
+        expected=1,
+    ),
+    DeltaCase(
+        name="pingpong-zero-delta-strict-times",
+        # δ=0 can never hold a 2-edge match: uniquified times are strict.
+        edges=((3, 4, 10), (4, 3, 10)),
+        motif=PING_PONG,
+        delta=0,
+        expected=0,
+    ),
+    DeltaCase(
+        name="path3-two-windows-one-exact",
+        # First chain spans exactly δ (counts); the second, started one
+        # second later, spans δ+1 (does not).
+        edges=(
+            (0, 1, 0), (1, 2, 30), (2, 3, 60),
+            (4, 5, 100), (5, 6, 130), (6, 7, 161),
+        ),
+        motif=PATH3,
+        delta=60,
+        expected=1,
+    ),
+    # -- duplicate timestamps at the window edge ------------------------------
+    DeltaCase(
+        name="duplicate-ts-nudge-closes-window",
+        # Raw edges: A->B@0, B->C@100, C->A@100.  The nudge makes the
+        # last edge t=101, pushing the cycle's span to δ+1 → no match.
+        edges=((0, 1, 0), (1, 2, 100), (2, 0, 100)),
+        motif=M1,
+        delta=100,
+        expected=0,
+    ),
+    DeltaCase(
+        name="duplicate-ts-nudge-still-inside",
+        # Same shape with δ=101: the nudged span is exactly δ → match.
+        edges=((0, 1, 0), (1, 2, 100), (2, 0, 100)),
+        motif=M1,
+        delta=101,
+        expected=1,
+    ),
+    DeltaCase(
+        name="duplicate-ts-burst-all-equal",
+        # Four simultaneous raw edges uniquify to t=5,6,7,8; every
+        # adjacent-in-time reversal pairs up (the A/B roles swap freely),
+        # and the span-3 pair (t=5, t=8) still fits the window.
+        edges=((0, 1, 5), (1, 0, 5), (0, 1, 5), (1, 0, 5)),
+        motif=PING_PONG,
+        delta=3,
+        expected=4,
+    ),
+    # -- self-loop-free invariants --------------------------------------------
+    DeltaCase(
+        name="self-loop-never-roots",
+        edges=((0, 0, 0), (0, 1, 10), (1, 2, 20), (2, 0, 30)),
+        motif=M1,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="self-loop-never-extends",
+        # The loop at B sits mid-window but no motif edge may take it.
+        edges=((0, 1, 0), (1, 1, 5), (1, 2, 10), (2, 0, 20)),
+        motif=M1,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="self-loop-only-graph",
+        edges=((0, 0, 0), (1, 1, 5), (2, 2, 10)),
+        motif=M2,
+        delta=100,
+        expected=0,
+    ),
+]
+
+
+def mackey_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    return count_motifs(graph, motif, delta)
+
+
+def bruteforce_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    return brute_force_count(graph, motif, delta)
+
+
+def taskcentric_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    return TaskCentricMiner(graph, motif, delta, num_workers=3).mine().count
+
+
+def streaming_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    return stream_count(graph, motif, delta)
+
+
+#: name -> count(graph, motif, delta); every backend must agree on every
+#: case above (and anywhere else the suites cross-check them).
+COUNT_BACKENDS = {
+    "mackey": mackey_count,
+    "bruteforce": bruteforce_count,
+    "taskcentric": taskcentric_count,
+    "streaming": streaming_count,
+}

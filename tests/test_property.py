@@ -1,14 +1,19 @@
 """Property-based tests (hypothesis) for core invariants.
 
 The central property: every miner in the library — Mackey (with and
-without memoization), the task-centric engine, Paranjape, and the Mint
-simulator's functional walker — computes the same count as the
-brute-force oracle, on arbitrary temporal graphs and windows.
+without memoization), the task-centric engine, Paranjape, the Mint
+simulator's functional walker, and the streaming sliding-window engine —
+computes the same count as the brute-force oracle, on arbitrary temporal
+graphs and windows.  The δ-boundary adversarial cases
+(``delta_cases.py``) are shared with the streaming differential suite so
+every backend faces the same edge conditions.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from delta_cases import COUNT_BACKENDS, DELTA_BOUNDARY_CASES
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.bruteforce import brute_force_count
 from repro.mining.mackey import MackeyMiner, count_motifs
@@ -130,3 +135,54 @@ class TestCountProperties:
         """With δ=0 no multi-edge motif can fit (strictly increasing times)."""
         if motif.num_edges > 1:
             assert count_motifs(g, motif, 0) == 0
+
+
+class TestDeltaBoundary:
+    """Shared δ-boundary adversarial cases (``delta_cases.py``): matches
+    spanning exactly δ (inclusive ``t_l - t_1 <= δ``, §II-A), duplicate
+    timestamps at the window edge, and self-loop-free invariants —
+    asserted identically against mackey, bruteforce, taskcentric, and
+    streaming."""
+
+    @pytest.mark.parametrize("backend", sorted(COUNT_BACKENDS))
+    @pytest.mark.parametrize(
+        "case", DELTA_BOUNDARY_CASES, ids=lambda c: c.name
+    )
+    def test_boundary_case(self, backend, case):
+        count = COUNT_BACKENDS[backend]
+        assert count(case.graph(), case.motif, case.delta) == case.expected, (
+            f"{backend} disagrees on {case.name}"
+        )
+
+    @pytest.mark.parametrize(
+        "case", DELTA_BOUNDARY_CASES, ids=lambda c: c.name
+    )
+    def test_all_backends_agree_at_perturbed_deltas(self, case):
+        """Beyond the pinned expectation: at δ±1 all four backends still
+        agree with the brute-force oracle (the off-by-one hot zone)."""
+        g = case.graph()
+        for delta in (max(0, case.delta - 1), case.delta + 1):
+            expected = COUNT_BACKENDS["bruteforce"](g, case.motif, delta)
+            for backend, count in COUNT_BACKENDS.items():
+                assert count(g, case.motif, delta) == expected, (
+                    f"{backend} disagrees at delta={delta} on {case.name}"
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy)
+    def test_self_loops_never_change_counts(self, g, motif, delta):
+        """Lacing a self-loop after every edge leaves every backend's
+        count unchanged (self-loop-free invariant).  Times are doubled so
+        the loops occupy fresh timestamps — match spans scale by exactly
+        2, so counting at 2δ isolates the self-loop effect from the
+        timestamp-uniquification nudge."""
+        base = count_motifs(g, motif, delta)
+        laced = []
+        for s, d, t in zip(g.src.tolist(), g.dst.tolist(), g.ts.tolist()):
+            laced.append((s, d, 2 * t))
+            laced.append((s, s, 2 * t + 1))
+        laced_graph = TemporalGraph(laced, num_nodes=g.num_nodes)
+        for backend, count in COUNT_BACKENDS.items():
+            assert count(laced_graph, motif, 2 * delta) == base, (
+                f"{backend} count changed when self-loops were laced in"
+            )

@@ -1,0 +1,269 @@
+"""Differential property suite: the streaming engine vs the batch oracle.
+
+The streaming subsystem has no paper figure to match — its correctness
+claim is *exact parity with the batch miners*.  This suite pins it:
+
+- full-replay counts equal ``mine_mackey`` counts on seeded graphs from
+  every generator family × every catalog motif;
+- parity is invariant to batching (1, 7, all-at-once, shuffled sizes);
+- prefix replays equal batch counts on the prefix graph, and snapshots
+  are byte-identical to batch-built ``TemporalGraph``s (arrays + CSR);
+- the catalog/grid counters match per-motif batch breakdowns exactly;
+- hypothesis-randomized graphs (duplicate timestamps, self-loops)
+  agree with the Mackey reference;
+- the shared δ-boundary adversarial cases hold for the streaming
+  backend like every batch backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from delta_cases import COUNT_BACKENDS, DELTA_BOUNDARY_CASES
+from repro.graph.generators import DATASET_NAMES, make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import count_motifs
+from repro.mining.multi import grid_census
+from repro.motifs.catalog import (
+    EVALUATION_MOTIFS,
+    EXTRA_MOTIFS,
+    M1,
+    M2,
+    PING_PONG,
+)
+from repro.streaming import (
+    StreamingCatalogCounter,
+    StreamingCounter,
+    StreamingGridCounter,
+    iter_batches,
+    replay_stream,
+    stream_count,
+)
+
+CATALOG = EVALUATION_MOTIFS + EXTRA_MOTIFS
+
+#: One small seeded graph per generator family; scales keep the full
+#: family × motif × batch-size product affordable for tier-1.
+FAMILY_SCALES = {
+    "email-eu": 0.06,
+    "mathoverflow": 0.05,
+    "ask-ubuntu": 0.04,
+    "superuser": 0.03,
+    "wiki-talk": 0.02,
+    "stackoverflow": 0.013,
+}
+
+
+def _edges_of(graph: TemporalGraph):
+    return list(zip(graph.src.tolist(), graph.dst.tolist(), graph.ts.tolist()))
+
+
+@pytest.fixture(scope="module")
+def family_graphs():
+    graphs = {}
+    for name in DATASET_NAMES:
+        g = make_dataset(name, scale=FAMILY_SCALES[name], seed=11)
+        delta = max(1, g.time_span // 40)
+        graphs[name] = (g, delta)
+    return graphs
+
+
+@pytest.fixture(scope="module")
+def batch_counts(family_graphs):
+    """Mackey oracle counts for every (family, motif) pair, computed once."""
+    return {
+        (name, motif.name): count_motifs(g, motif, delta)
+        for name, (g, delta) in family_graphs.items()
+        for motif in CATALOG
+    }
+
+
+class TestFullReplayParity:
+    @pytest.mark.parametrize("family", DATASET_NAMES)
+    @pytest.mark.parametrize("motif", CATALOG, ids=lambda m: m.name)
+    def test_replay_equals_mackey(
+        self, family, motif, family_graphs, batch_counts
+    ):
+        g, delta = family_graphs[family]
+        expected = batch_counts[(family, motif.name)]
+        assert stream_count(g, motif, delta) == expected
+
+    @pytest.mark.parametrize("family", ["email-eu", "wiki-talk"])
+    @pytest.mark.parametrize("batch_size", [1, 7, 10**9])
+    def test_batch_size_invariance(
+        self, family, batch_size, family_graphs, batch_counts
+    ):
+        g, delta = family_graphs[family]
+        for motif in (M1, M2, PING_PONG):
+            counter = StreamingCounter(motif, delta)
+            for batch in iter_batches(g, min(batch_size, max(1, g.num_edges))):
+                counter.add_batch(batch)
+            assert counter.count == batch_counts[(family, motif.name)], (
+                f"{motif.name} diverged at batch_size={batch_size}"
+            )
+
+    @pytest.mark.parametrize("family", DATASET_NAMES)
+    def test_shuffled_batch_sizes(self, family, family_graphs, batch_counts):
+        """Randomized (seeded) batch segmentation never changes counts."""
+        g, delta = family_graphs[family]
+        edges = _edges_of(g)
+        rng = random.Random(hash(family) & 0xFFFF)
+        counter = StreamingCounter(M1, delta)
+        i = 0
+        while i < len(edges):
+            step = rng.choice((1, 2, 3, 5, 8, 13, 21))
+            counter.add_batch(edges[i : i + step])
+            i += step
+        assert counter.count == batch_counts[(family, "M1")]
+
+
+class TestPrefixReplay:
+    @pytest.mark.parametrize("family", ["mathoverflow", "stackoverflow"])
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_prefix_counts_equal_prefix_graph(
+        self, family, fraction, family_graphs
+    ):
+        g, delta = family_graphs[family]
+        k = int(g.num_edges * fraction)
+        edges = _edges_of(g)[:k]
+        counter = StreamingCounter(M1, delta)
+        counter.add_batch(edges)
+        prefix_graph = TemporalGraph(edges, num_nodes=g.num_nodes)
+        assert counter.count == count_motifs(prefix_graph, M1, delta)
+
+    @pytest.mark.parametrize("family", ["email-eu", "superuser"])
+    def test_snapshot_byte_identical_to_batch_graph(
+        self, family, family_graphs
+    ):
+        g, delta = family_graphs[family]
+        counter = StreamingCounter(M1, delta)
+        counter.add_batch(_edges_of(g))
+        snap = counter.snapshot()
+        # The stream only knows nodes it has seen, so compare against a
+        # batch graph with the same inferred node count.
+        want = TemporalGraph(_edges_of(g))
+        assert snap.num_nodes == want.num_nodes
+        for attr in (
+            "src", "dst", "ts",
+            "out_offsets", "out_edge_idx", "in_offsets", "in_edge_idx",
+        ):
+            assert np.array_equal(
+                getattr(snap, attr), getattr(want, attr)
+            ), f"{attr} diverged"
+
+    def test_snapshot_minable_by_batch_miners_midstream(self, family_graphs):
+        g, delta = family_graphs["ask-ubuntu"]
+        edges = _edges_of(g)
+        counter = StreamingCounter(M2, delta)
+        counter.add_batch(edges[: len(edges) // 3])
+        snap = counter.snapshot()
+        assert count_motifs(snap, M2, delta) == counter.count
+        # Keep streaming after the snapshot: the counter is unaffected.
+        counter.add_batch(edges[len(edges) // 3 :])
+        assert counter.count == count_motifs(g, M2, delta)
+
+
+class TestCatalogAndGrid:
+    @pytest.mark.parametrize("family", ["email-eu", "wiki-talk"])
+    def test_catalog_breakdown_exact(
+        self, family, family_graphs, batch_counts
+    ):
+        g, delta = family_graphs[family]
+        counter = StreamingCatalogCounter(CATALOG, delta)
+        replay_stream(g, counter, batch_size=17)
+        assert counter.counts == {
+            motif.name: batch_counts[(family, motif.name)]
+            for motif in CATALOG
+        }
+
+    def test_grid_counter_equals_grid_census(self, family_graphs):
+        g, delta = family_graphs["email-eu"]
+        counter = StreamingGridCounter(delta)
+        counter.add_batch(_edges_of(g))
+        assert counter.grid_counts == grid_census(g, delta)
+
+
+class TestDeltaBoundarySharedCases:
+    """The shared adversarial cases, exercised through the streaming
+    backend the same way ``test_property.py`` runs the batch backends."""
+
+    @pytest.mark.parametrize(
+        "case", DELTA_BOUNDARY_CASES, ids=lambda c: c.name
+    )
+    def test_streaming_matches_expected(self, case):
+        assert (
+            COUNT_BACKENDS["streaming"](case.graph(), case.motif, case.delta)
+            == case.expected
+        )
+
+    @pytest.mark.parametrize(
+        "case", DELTA_BOUNDARY_CASES, ids=lambda c: c.name
+    )
+    def test_streaming_batchsize_one_and_all(self, case):
+        g = case.graph()
+        edges = _edges_of(g)
+        one = StreamingCounter(case.motif, case.delta)
+        for e in edges:
+            one.add_edge(*e)
+        allatonce = StreamingCounter(case.motif, case.delta)
+        allatonce.add_batch(edges)
+        assert one.count == allatonce.count == case.expected
+
+
+@st.composite
+def raw_edge_streams(draw, max_nodes=6, max_edges=24, max_time=40):
+    """Time-sorted raw edge lists with duplicate timestamps and
+    self-loops — the inputs that stress uniquification and filtering."""
+    n = draw(st.integers(2, max_nodes))
+    m = draw(st.integers(0, max_edges))
+    edges = []
+    for _ in range(m):
+        s = draw(st.integers(0, n - 1))
+        d = draw(st.integers(0, n - 1))
+        t = draw(st.integers(0, max_time))
+        edges.append((s, d, t))
+    edges.sort(key=lambda e: e[2])
+    return n, edges
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        raw_edge_streams(),
+        st.sampled_from([M1, M2, PING_PONG]),
+        st.integers(0, 50),
+    )
+    def test_streaming_equals_mackey_on_raw_streams(self, stream, motif, delta):
+        n, edges = stream
+        g = TemporalGraph(edges, num_nodes=n)
+        counter = StreamingCounter(motif, delta)
+        for s, d, t in edges:
+            counter.add_edge(s, d, t)
+        assert counter.count == count_motifs(g, motif, delta)
+        # The incremental nudge reproduces the batch uniquification.
+        assert counter.snapshot().ts.tolist() == g.ts.tolist()
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw_edge_streams(), st.integers(0, 50), st.integers(1, 9))
+    def test_streaming_batching_invariant_on_raw_streams(
+        self, stream, delta, batch_size
+    ):
+        n, edges = stream
+        batched = StreamingCounter(M1, delta)
+        i = 0
+        while i < len(edges):
+            batched.add_batch(edges[i : i + batch_size])
+            i += batch_size
+        assert batched.count == stream_count(
+            TemporalGraph(edges, num_nodes=n), M1, delta
+        )
+
+    def test_out_of_order_edge_rejected(self):
+        counter = StreamingCounter(M1, 10)
+        counter.add_edge(0, 1, 100)
+        with pytest.raises(ValueError, match="out-of-order"):
+            counter.add_edge(1, 2, 99)
