@@ -7,17 +7,39 @@ from typing import Iterable, List, Sequence
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; the paper reports all average speedups this way."""
+    """Geometric mean; the paper reports all average speedups this way.
+
+    Raises :class:`ValueError` on an empty sequence and on zero,
+    negative, NaN or infinite entries — a geometric mean of those is
+    undefined, and silently returning ``nan`` (what ``math.log`` would
+    propagate) has historically poisoned whole speedup tables.
+    """
     vals = [float(v) for v in values]
     if not vals:
         raise ValueError("geomean of empty sequence")
-    if any(v <= 0 for v in vals):
-        raise ValueError("geomean requires positive values")
+    for v in vals:
+        if math.isnan(v):
+            raise ValueError("geomean of NaN is undefined")
+        if not (0 < v < math.inf):
+            raise ValueError(
+                f"geomean requires finite positive values, got {v!r}"
+            )
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def format_rate(value: float, unit: str) -> str:
-    """Human-readable rate, e.g. ``12.3k edges/s`` (streaming reports)."""
+    """Human-readable rate, e.g. ``12.3k edges/s`` (streaming reports).
+
+    ``value`` must be a finite, non-negative number; negative, NaN or
+    infinite rates indicate a broken timer upstream and raise
+    :class:`ValueError` instead of rendering nonsense like
+    ``nan edges/s``.
+    """
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value < 0:
+        raise ValueError(
+            f"rate must be a finite non-negative number, got {value!r}"
+        )
     if value >= 1e6:
         return f"{value / 1e6:.2f}M {unit}"
     if value >= 1e3:

@@ -11,6 +11,8 @@ Commands
 - ``info`` — dataset statistics (Table I style) for a graph file.
 - ``stream`` — replay a dataset as an event stream through the
   incremental sliding-window counter (online workload).
+- ``serve`` — serve motif queries over HTTP/JSON with coalescing,
+  caching and backpressure (``repro.service``).
 """
 
 from __future__ import annotations
@@ -63,6 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mine with N worker processes (0 = in-process serial; "
         "incompatible with --show-matches)",
     )
+    mine.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable result payload (same shape as "
+        "the `repro serve` HTTP endpoint returns)",
+    )
 
     census = sub.add_parser("census", help="count the 36-motif grid")
     census.add_argument("graph")
@@ -74,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="mine the grid with N worker processes sharing one graph "
         "shipment (0 = in-process serial)",
+    )
+    census.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable grid payload",
     )
 
     simulate = sub.add_parser("simulate", help="run the Mint simulator")
@@ -153,6 +166,46 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0,
                         help="generator seed (dataset-name inputs)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve motif queries over HTTP/JSON (repro.service)",
+    )
+    serve.add_argument(
+        "graphs",
+        nargs="*",
+        metavar="NAME=PATH",
+        help="graph files to preload, e.g. email=data/email.txt "
+        "(bare PATH uses the file stem as name)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8300, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="mining worker processes per resident pool "
+        "(0 = in-process serial mining)",
+    )
+    serve.add_argument(
+        "--lanes", type=int, default=2,
+        help="concurrent batch-execution lanes (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=128,
+        help="bounded admission queue; beyond this queries are shed "
+        "with HTTP 429 (default 128)",
+    )
+    serve.add_argument(
+        "--cache-mb", type=float, default=64.0,
+        help="result-cache byte budget in MB (default 64)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
     return parser
 
 
@@ -176,13 +229,19 @@ def cmd_mine(args) -> int:
     else:
         motif = motif_by_name(args.motif)
     workers = getattr(args, "workers", 0)
-    if workers > 0 and args.show_matches > 0:
-        print("error: --show-matches requires the serial miner (--workers 0)")
+    as_json = getattr(args, "json", False)
+    if args.show_matches > 0 and (workers > 0 or as_json):
+        print("error: --show-matches requires the serial text mode "
+              "(--workers 0, no --json)")
         return 2
     if workers > 0:
         from repro.mining.parallel import count_motifs_parallel
 
         presult = count_motifs_parallel(graph, motif, args.delta, num_workers=workers)
+        if as_json:
+            _print_mine_payload(graph, motif, args.delta, presult.count,
+                                presult.counters)
+            return 0
         print(f"{motif.name} count (delta={args.delta}s): {presult.count}")
         c = presult.counters
         print(
@@ -208,6 +267,10 @@ def cmd_mine(args) -> int:
         on_match=_keep if want > 0 else None,
     )
     result = miner.mine()
+    if as_json:
+        _print_mine_payload(graph, motif, args.delta, result.count,
+                            result.counters)
+        return 0
     print(f"{motif.name} count (delta={args.delta}s): {result.count}")
     c = result.counters
     print(
@@ -220,9 +283,31 @@ def cmd_mine(args) -> int:
     return 0
 
 
+def _print_mine_payload(graph, motif, delta, count, counters) -> None:
+    """Print the machine-readable mine result — byte-identical to what
+    the service serves for the same ``(graph, motif, delta)``."""
+    from repro.service.query import build_payload, payload_bytes
+
+    payload = build_payload(
+        graph.fingerprint(), motif, delta, count, counters.as_dict()
+    )
+    print(payload_bytes(payload).decode())
+
+
 def cmd_census(args) -> int:
+    import json
+
     graph = _load(args.graph)
     census = grid_census(graph, args.delta, num_workers=getattr(args, "workers", 0))
+    if getattr(args, "json", False):
+        payload = {
+            "graph": graph.fingerprint(),
+            "delta": int(args.delta),
+            "grid": {f"r{r}c{c}": n for (r, c), n in sorted(census.items())},
+            "total": sum(census.values()),
+        }
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        return 0
     print(render_grid(census))
     print(f"total: {sum(census.values()):,}")
     return 0
@@ -355,6 +440,53 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def build_serve_server(args):
+    """Construct the (service, http server) pair for ``repro serve``.
+
+    Factored out of :func:`cmd_serve` so tests can bind to port 0 and
+    drive the server in a thread without blocking in ``serve_forever``.
+    """
+    from pathlib import Path
+
+    from repro.service import MotifService, make_server
+
+    service = MotifService(
+        num_workers=args.workers,
+        max_queue=args.queue_size,
+        lanes=args.lanes,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+    )
+    try:
+        for spec in args.graphs:
+            name, _, path = spec.rpartition("=")
+            if not name:
+                name, path = Path(path).stem, path
+            fp = service.register_graph(_load(path), name=name)
+            print(f"registered {name!r} ({path}) as {fp}")
+        server = make_server(
+            service, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except BaseException:
+        service.close()
+        raise
+    return service, server
+
+
+def cmd_serve(args) -> int:
+    service, server = build_serve_server(args)
+    host, port = server.server_address[:2]
+    print(f"serving motif queries on http://{host}:{port}")
+    print("  POST /query   GET /metrics   GET /graphs   GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "mine": cmd_mine,
@@ -363,6 +495,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "info": cmd_info,
     "stream": cmd_stream,
+    "serve": cmd_serve,
 }
 
 

@@ -17,6 +17,7 @@ The paper's algorithm operates on two structures:
 from __future__ import annotations
 
 import bisect
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
@@ -229,6 +230,41 @@ class TemporalGraph:
             "in_offsets": self.in_offsets,
             "in_edge_idx": self.in_edge_idx,
         }
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical edge arrays.
+
+        The digest covers ``num_nodes`` and the post-construction
+        ``src``/``dst``/``ts`` arrays — i.e. the *canonical* graph after
+        time-sorting and timestamp uniquification.  Two graphs with the
+        same fingerprint are guaranteed to produce identical mining
+        results for every ``(motif, delta)``, which is exactly the
+        contract a fingerprint-keyed result cache needs:
+
+        - permuting the input edge list does not change the fingerprint
+          when timestamps are distinct (construction sorts by time);
+        - duplicate ``(src, dst, t)`` triples may be permuted freely;
+        - but reordering *distinct* edges that share a timestamp yields a
+          different canonical graph (the stable tie-break assigns
+          different uniquified timestamps), and therefore — correctly —
+          a different fingerprint, because motif counts can differ.
+
+        The hash is content-based (``hashlib``, not the salted builtin
+        ``hash``), so fingerprints are comparable across processes and
+        across :meth:`from_arrays` round-trips.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(b"TemporalGraph-v1")
+            h.update(self._num_nodes.to_bytes(8, "little"))
+            for a in (self.src, self.dst, self.ts):
+                h.update(np.ascontiguousarray(a, dtype=np.int64).tobytes())
+            fp = h.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     # -- basic accessors -------------------------------------------------------
 

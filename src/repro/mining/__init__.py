@@ -24,7 +24,12 @@ from repro.mining.static_mining import StaticPatternMiner
 from repro.mining.paranjape import ParanjapeMiner
 from repro.mining.presto import PrestoEstimator
 from repro.mining.cycles import TemporalCycleMiner, count_temporal_cycles
-from repro.mining.parallel import MiningPool, ParallelResult, count_motifs_parallel
+from repro.mining.parallel import (
+    MiningCancelled,
+    MiningPool,
+    ParallelResult,
+    count_motifs_parallel,
+)
 from repro.mining.multi import MotifCensus, count_motif_family, grid_census
 from repro.mining.features import motif_feature_matrix, node_motif_counts
 
@@ -44,6 +49,7 @@ __all__ = [
     "PrestoEstimator",
     "TemporalCycleMiner",
     "count_temporal_cycles",
+    "MiningCancelled",
     "MiningPool",
     "ParallelResult",
     "count_motifs_parallel",

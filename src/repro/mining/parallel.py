@@ -35,7 +35,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -166,6 +166,13 @@ class _RangeMiner(MackeyMiner):
 # -- parent side ---------------------------------------------------------------
 
 
+class MiningCancelled(RuntimeError):
+    """Raised by :meth:`MiningPool.count_many` when its ``cancel_check``
+    fires.  Cancellation is best-effort at chunk granularity: chunks
+    already executing run to completion, but no further chunks are
+    dispatched and partial counts are discarded."""
+
+
 @dataclass(frozen=True)
 class ParallelResult:
     count: int
@@ -215,6 +222,7 @@ class MiningPool:
         self.graph = graph
         self.num_workers = int(num_workers)
         self._seg = None
+        self._closed = False
         initializer, initargs = self._make_initializer(graph)
         self._pool = ProcessPoolExecutor(
             max_workers=self.num_workers,
@@ -250,7 +258,14 @@ class MiningPool:
 
     # -- lifecycle -------------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True)
         if self._seg is not None:
             self._seg.close()
@@ -269,20 +284,35 @@ class MiningPool:
     # -- mining ----------------------------------------------------------------
 
     def count(
-        self, motif: Motif, delta: int, chunks_per_worker: int = 8
+        self,
+        motif: Motif,
+        delta: int,
+        chunks_per_worker: int = 8,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> ParallelResult:
         """Exactly count one motif; results identical to :class:`MackeyMiner`."""
-        return self.count_many([motif], delta, chunks_per_worker)[0]
+        return self.count_many([motif], delta, chunks_per_worker, cancel_check)[0]
 
     def count_many(
-        self, motifs: Sequence[Motif], delta: int, chunks_per_worker: int = 8
+        self,
+        motifs: Sequence[Motif],
+        delta: int,
+        chunks_per_worker: int = 8,
+        cancel_check: Optional[Callable[[], bool]] = None,
     ) -> List[ParallelResult]:
         """Count several motifs in one dispatch wave.
 
         All motifs' chunks share the dynamic dispatch window, so workers
         drain straight from one motif's tail into the next motif's head
         with no inter-motif barrier.
+
+        ``cancel_check`` is polled at every chunk boundary (the serving
+        layer's deadline hook): when it returns True, dispatch stops,
+        in-flight chunks are drained, and :class:`MiningCancelled` is
+        raised — the pool stays alive and reusable for the next call.
         """
+        if self._closed:
+            raise RuntimeError("MiningPool is closed")
         m = self.graph.num_edges
         totals = [0] * len(motifs)
         merged = [SearchCounters() for _ in motifs]
@@ -313,11 +343,20 @@ class MiningPool:
             fut = self._pool.submit(_mine_chunk, (edges, d, lo, hi))
             pending[fut] = idx
 
+        def drain_and_cancel() -> None:
+            for fut in pending:
+                fut.cancel()
+            wait(set(pending))
+            pending.clear()
+            raise MiningCancelled("mining cancelled by cancel_check")
+
         # Keep a bounded in-flight window: whenever any chunk completes,
         # dispatch the next one to the freed worker (dynamic scheduling).
         for _ in range(2 * self.num_workers):
             submit_next()
         while pending:
+            if cancel_check is not None and cancel_check():
+                drain_and_cancel()
             done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
             for fut in done:
                 idx = pending.pop(fut)

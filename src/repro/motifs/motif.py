@@ -95,6 +95,25 @@ class Motif:
         """The ``(u, v)`` motif-node pair of the i-th (chronological) edge."""
         return self.edges[i]
 
+    def canonical_key(self) -> Tuple[Tuple[int, int], ...]:
+        """Edges relabelled by order of first appearance.
+
+        Two motifs share a canonical key iff they describe the same
+        temporal edge sequence up to node-label choice — the name and
+        the particular integer labels are erased.  This is the motif
+        component of the service result-cache key, so e.g. an inline
+        ``--motif-spec`` identical to catalog ``M1`` hits M1's cached
+        counts.
+        """
+        ids: dict = {}
+        out: List[Tuple[int, int]] = []
+        for u, v in self.edges:
+            for lab in (u, v):
+                if lab not in ids:
+                    ids[lab] = len(ids)
+            out.append((ids[u], ids[v]))
+        return tuple(out)
+
     def static_pattern(self) -> Set[Tuple[int, int]]:
         """Distinct directed node pairs, i.e. the motif with time removed.
 

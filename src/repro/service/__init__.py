@@ -1,0 +1,69 @@
+"""`repro.service` — the concurrent motif-query serving layer.
+
+Turns the one-shot batch miners into a long-lived server: many clients
+issue ``(graph, motif, delta)`` queries against registered temporal
+graphs and the layer exploits their redundancy the same way Mint's
+search-index memoization exploits overlapping searches (§VI-A) —
+identical in-flight queries are **coalesced** into one execution,
+completed results are **cached** under content fingerprints, compatible
+queries are **batched** into one multi-motif dispatch, and overload is
+handled by **bounded admission with explicit shedding**.
+
+Module map (request lifecycle: admit → coalesce → batch → mine → cache):
+
+- :mod:`~repro.service.query` — query/result records, the cache key,
+  the canonical wire payload;
+- :mod:`~repro.service.registry` — fingerprint-keyed, ref-counted
+  resident graph table;
+- :mod:`~repro.service.cache` — bytes-bounded LRU result cache;
+- :mod:`~repro.service.scheduler` — bounded admission queue,
+  single-flight coalescing, per-graph batching, deadlines/cancellation;
+- :mod:`~repro.service.executor` — mining backends (inline serial, or
+  resident :class:`~repro.mining.parallel.MiningPool` per graph);
+- :mod:`~repro.service.metrics` — latency reservoir and metrics
+  snapshots;
+- :mod:`~repro.service.service` — the :class:`MotifService` front end
+  (plus live streams);
+- :mod:`~repro.service.http` — stdlib JSON/HTTP endpoint
+  (``repro serve``).
+"""
+
+from repro.service.cache import CachedResult, ResultCache
+from repro.service.executor import InlineExecutor, PoolExecutor
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.metrics import LatencyReservoir, ServiceMetrics, percentile
+from repro.service.query import (
+    MotifQuery,
+    QueryRejected,
+    QueryResult,
+    ServiceClosed,
+    UnknownGraph,
+    build_payload,
+    payload_bytes,
+)
+from repro.service.registry import GraphRegistry
+from repro.service.scheduler import PendingQuery, QueryScheduler
+from repro.service.service import MotifService
+
+__all__ = [
+    "CachedResult",
+    "GraphRegistry",
+    "InlineExecutor",
+    "LatencyReservoir",
+    "MotifQuery",
+    "MotifService",
+    "PendingQuery",
+    "PoolExecutor",
+    "QueryRejected",
+    "QueryResult",
+    "QueryScheduler",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
+    "UnknownGraph",
+    "build_payload",
+    "make_server",
+    "payload_bytes",
+    "percentile",
+]

@@ -1,0 +1,130 @@
+"""Fingerprint-keyed LRU result cache with a byte budget.
+
+Mint's headline insight (§VI-A) is that overlapping motif searches do
+massively redundant work; at the serving layer the same redundancy shows
+up as *whole repeated queries*.  This cache memoizes completed counts
+keyed by ``(graph_fingerprint, canonical_motif, delta)`` — exactly the
+triple under which results are provably byte-identical — so a repeat
+query costs a dictionary lookup instead of a mining run.
+
+Eviction is LRU bounded by estimated entry bytes (not entry count:
+counter dictionaries dominate the footprint and are uniform, but the
+byte bound keeps the policy honest if entries ever grow).  Hit/miss/
+eviction accounting feeds the service metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.service.query import QueryKey
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """An immutable cached count: the mined number plus its counters."""
+
+    count: int
+    counters: Dict[str, int]
+    nbytes: int
+
+
+def _estimate_nbytes(key: QueryKey, count: int, counters: Dict[str, int]) -> int:
+    """Deterministic size estimate: the JSON footprint of key + value."""
+    return len(repr(key)) + len(
+        json.dumps({"count": count, "counters": counters})
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU cache of mining results, bounded in bytes."""
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[QueryKey, CachedResult]" = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core ------------------------------------------------------------------
+
+    def get(self, key: QueryKey) -> Optional[CachedResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: QueryKey, count: int, counters: Dict[str, int]) -> bool:
+        """Insert (or refresh) a result; returns False if it cannot fit.
+
+        An entry larger than the whole budget is refused rather than
+        evicting the entire cache for one oversized tenant.
+        """
+        counters = {k: int(v) for k, v in counters.items()}
+        nbytes = _estimate_nbytes(key, int(count), counters)
+        if nbytes > self.max_bytes:
+            return False
+        entry = CachedResult(count=int(count), counters=counters, nbytes=nbytes)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes_used -= old.nbytes
+            self._entries[key] = entry
+            self.bytes_used += nbytes
+            while self.bytes_used > self.max_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self.bytes_used -= victim.nbytes
+                self.evictions += 1
+            return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry for one graph (fires on registry eviction)."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == fingerprint]
+            for k in doomed:
+                self.bytes_used -= self._entries.pop(k).nbytes
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes_used = 0
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since construction (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes_used": self.bytes_used,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,125 @@
+"""Mining backends the scheduler dispatches batches to.
+
+The scheduler groups compatible queries (same graph, same δ) into one
+batch; an executor turns a batch into per-motif ``(count, counters)``
+pairs.  Two implementations:
+
+- :class:`InlineExecutor` — serial :class:`MackeyMiner` per motif inside
+  the calling lane thread.  No processes, no setup cost; the right
+  backend for small graphs, tests and single-machine deployments where
+  query concurrency (lanes) already saturates the cores.
+- :class:`PoolExecutor` — per-graph :class:`MiningPool` reuse.  The
+  first batch against a graph ships it (zero-copy shared memory) into a
+  resident worker pool; subsequent batches only send tiny task tuples.
+  Pools are closed when the registry evicts their graph.
+
+Both honor ``cancel_check`` — the scheduler's deadline hook — at their
+natural granularity (between motifs inline; between root-range chunks in
+the pool) by raising :class:`MiningCancelled`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import MackeyMiner
+from repro.mining.parallel import MiningCancelled, MiningPool
+from repro.motifs.motif import Motif
+
+#: One batch item's result: (count, counters-as-dict).
+BatchItem = Tuple[int, Dict[str, int]]
+
+
+class InlineExecutor:
+    """Serial in-process mining; cancellation polls between motifs."""
+
+    def count_batch(
+        self,
+        graph: TemporalGraph,
+        motifs: Sequence[Motif],
+        delta: int,
+        cancel_check: Optional[Callable[[], bool]] = None,
+    ) -> List[BatchItem]:
+        out: List[BatchItem] = []
+        for motif in motifs:
+            if cancel_check is not None and cancel_check():
+                raise MiningCancelled("batch cancelled between motifs")
+            result = MackeyMiner(graph, motif, delta).mine()
+            out.append((result.count, result.counters.as_dict()))
+        return out
+
+    def release_graph(self, fingerprint: str) -> None:  # noqa: ARG002
+        """Inline mining holds no per-graph state; nothing to release."""
+
+    def close(self) -> None:
+        """Stateless; nothing to shut down."""
+
+
+class PoolExecutor:
+    """Per-graph :class:`MiningPool` reuse with chunk-level cancellation.
+
+    ``num_workers`` processes per pool; at most ``max_pools`` pools stay
+    resident (they hold worker processes and a shared-memory graph
+    copy), evicted least-recently-used beyond that.
+    """
+
+    def __init__(self, num_workers: int, max_pools: int = 2) -> None:
+        if num_workers < 1:
+            raise ValueError("PoolExecutor needs at least one worker")
+        if max_pools < 1:
+            raise ValueError("max_pools must be positive")
+        self.num_workers = int(num_workers)
+        self.max_pools = int(max_pools)
+        self._lock = threading.Lock()
+        #: fingerprint -> pool, most recently used last.
+        self._pools: Dict[str, MiningPool] = {}
+        self._order: List[str] = []
+
+    def _pool_for(self, graph: TemporalGraph) -> MiningPool:
+        fp = graph.fingerprint()
+        doomed: List[MiningPool] = []
+        with self._lock:
+            pool = self._pools.get(fp)
+            if pool is None:
+                pool = MiningPool(graph, self.num_workers)
+                self._pools[fp] = pool
+                self._order.append(fp)
+                while len(self._order) > self.max_pools:
+                    victim = self._order.pop(0)
+                    doomed.append(self._pools.pop(victim))
+            else:
+                self._order.remove(fp)
+                self._order.append(fp)
+        for p in doomed:
+            p.close()
+        return pool
+
+    def count_batch(
+        self,
+        graph: TemporalGraph,
+        motifs: Sequence[Motif],
+        delta: int,
+        cancel_check: Optional[Callable[[], bool]] = None,
+    ) -> List[BatchItem]:
+        pool = self._pool_for(graph)
+        results = pool.count_many(list(motifs), delta, cancel_check=cancel_check)
+        return [(r.count, r.counters.as_dict()) for r in results]
+
+    def release_graph(self, fingerprint: str) -> None:
+        """Close the pool whose graph was evicted from the registry."""
+        with self._lock:
+            pool = self._pools.pop(fingerprint, None)
+            if fingerprint in self._order:
+                self._order.remove(fingerprint)
+        if pool is not None:
+            pool.close()
+
+    def close(self) -> None:
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+            self._order.clear()
+        for pool in pools:
+            pool.close()

@@ -1,0 +1,261 @@
+"""Stdlib JSON/HTTP endpoint over a :class:`MotifService`.
+
+A deliberately dependency-free front door (``http.server`` +
+``ThreadingHTTPServer``; one thread per connection feeding the shared
+scheduler).  Routes:
+
+- ``GET  /healthz`` — liveness probe.
+- ``GET  /metrics`` — JSON metrics snapshot; ``?format=text`` renders
+  the operator table instead.
+- ``GET  /graphs`` — registered aliases with node/edge counts.
+- ``POST /graphs`` — ``{"name": ..., "edges": [[src, dst, t], ...]}``
+  registers an uploaded graph; returns its fingerprint.
+- ``POST /query`` — ``{"graph": name-or-fingerprint, "motif": name,
+  "motif_spec": optional DSL, "delta": int, "timeout_s": optional}``;
+  answers the canonical payload.  Overload maps to HTTP 429 with a
+  ``Retry-After`` header; a missed deadline maps to 504.
+- ``POST /streams`` — ``{"name", "motif", "delta"}`` opens a live
+  stream; ``POST /streams/<name>/edges`` ingests; ``GET
+  /streams/<name>`` reads running totals; ``POST
+  /streams/<name>/window-query`` mines the current window.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.motifs.motif import Motif
+from repro.service.query import QueryRejected, QueryResult, UnknownGraph
+from repro.service.service import MotifService
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _result_to_response(result: QueryResult) -> Tuple[int, Dict]:
+    if result.ok:
+        return 200, dict(result.payload or {})
+    if result.status == "deadline_exceeded":
+        return 504, {"error": result.error or "deadline exceeded"}
+    return 500, {"error": result.error or result.status}
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the shared :class:`MotifService`."""
+
+    server_version = "mint-repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MotifService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _send_json(
+        self, status: int, body: Dict, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        raw = json.dumps(body, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _send_text(self, status: int, text: str) -> None:
+        raw = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _HTTPError(400, "a JSON request body is required")
+        try:
+            body = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _require(body: Dict, field: str):
+        if field not in body:
+            raise _HTTPError(400, f"missing required field {field!r}")
+        return body[field]
+
+    def _resolve_motif(self, body: Dict) -> Motif:
+        from repro.motifs.catalog import motif_by_name
+        from repro.motifs.parse import parse_motif
+
+        if body.get("motif_spec"):
+            try:
+                return parse_motif(body["motif_spec"], name="custom")
+            except ValueError as exc:
+                raise _HTTPError(400, f"bad motif_spec: {exc}") from None
+        name = self._require(body, "motif")
+        try:
+            return motif_by_name(name)
+        except KeyError as exc:
+            raise _HTTPError(404, str(exc.args[0])) from None
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            path, _, query_string = self.path.partition("?")
+            if path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif path == "/metrics":
+                if "format=text" in query_string:
+                    self._send_text(200, self.service.render_metrics())
+                else:
+                    self._send_json(200, {"metrics": self.service.metrics().as_dict()})
+            elif path == "/graphs":
+                names = self.service.graphs()
+                out = {}
+                for name, fp in names.items():
+                    g = self.service.registry.get(fp)
+                    out[name] = {
+                        "fingerprint": fp,
+                        "num_nodes": g.num_nodes,
+                        "num_edges": g.num_edges,
+                    }
+                self._send_json(200, {"graphs": out})
+            elif path.startswith("/streams/"):
+                name = path[len("/streams/"):]
+                self._send_json(200, self.service.stream_counts(name))
+            else:
+                raise _HTTPError(404, f"no such route {path!r}")
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except UnknownGraph as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/query":
+                self._handle_query()
+            elif self.path == "/graphs":
+                self._handle_register_graph()
+            elif self.path == "/streams":
+                self._handle_open_stream()
+            elif self.path.startswith("/streams/") and self.path.endswith("/edges"):
+                name = self.path[len("/streams/"):-len("/edges")]
+                body = self._read_body()
+                edges = self._require(body, "edges")
+                self._send_json(
+                    200,
+                    self.service.append_stream(
+                        name, [(int(s), int(d), int(t)) for s, d, t in edges]
+                    ),
+                )
+            elif self.path.startswith("/streams/") and self.path.endswith(
+                "/window-query"
+            ):
+                name = self.path[len("/streams/"):-len("/window-query")]
+                body = self._read_body()
+                motif = self._resolve_motif(body)
+                result = self.service.stream_window_query(
+                    name,
+                    motif,
+                    delta=body.get("delta"),
+                    timeout_s=body.get("timeout_s"),
+                )
+                status, payload = _result_to_response(result)
+                self._send_json(status, payload)
+            else:
+                raise _HTTPError(404, f"no such route {self.path!r}")
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except QueryRejected as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
+        except UnknownGraph as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    def _handle_query(self) -> None:
+        body = self._read_body()
+        graph = self._require(body, "graph")
+        delta = int(self._require(body, "delta"))
+        motif = self._resolve_motif(body)
+        timeout_s = body.get("timeout_s")
+        result = self.service.query(
+            graph, motif, delta, timeout_s=timeout_s
+        )
+        status, payload = _result_to_response(result)
+        self._send_json(status, payload)
+
+    def _handle_register_graph(self) -> None:
+        from repro.graph.temporal_graph import TemporalGraph
+
+        body = self._read_body()
+        name = self._require(body, "name")
+        edges = self._require(body, "edges")
+        graph = TemporalGraph([(int(s), int(d), int(t)) for s, d, t in edges])
+        fp = self.service.register_graph(graph, name=str(name))
+        self._send_json(
+            200,
+            {
+                "name": name,
+                "fingerprint": fp,
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+            },
+        )
+
+    def _handle_open_stream(self) -> None:
+        body = self._read_body()
+        name = str(self._require(body, "name"))
+        delta = int(self._require(body, "delta"))
+        motif = self._resolve_motif(body)
+        self.service.open_stream(name, motif, delta)
+        self._send_json(200, {"stream": name, "motif": motif.name, "delta": delta})
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MotifService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: MotifService,
+        host: str = "127.0.0.1",
+        port: int = 8300,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), ServiceRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    service: MotifService,
+    host: str = "127.0.0.1",
+    port: int = 8300,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (port 0 picks a free port) without starting to serve."""
+    return ServiceHTTPServer(service, host, port, verbose=verbose)

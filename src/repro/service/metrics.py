@@ -1,0 +1,133 @@
+"""Service observability: latency reservoir and metrics snapshots.
+
+The snapshot carries exactly the quantities an operator needs to steer
+the serving layer: admission-queue depth (backpressure), coalesce ratio
+(how much single-flight is saving), cache hit-rate (how much memoization
+is saving), shed count (overload policy engaged) and p50/p99 latency
+(tail health).  Rendering goes through
+:func:`repro.analysis.reporting.format_table` like every other report in
+the repo.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence
+
+from repro.analysis.reporting import format_table
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``values`` (``p`` in [0, 100]).
+
+    Raises :class:`ValueError` on an empty sequence or out-of-range
+    ``p`` — the same fail-loud contract as :func:`reporting.geomean`.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile p must be in [0, 100], got {p}")
+    ordered = sorted(float(v) for v in values)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil(n * p / 100)
+    return ordered[int(rank) - 1]
+
+
+class LatencyReservoir:
+    """Bounded sliding reservoir of recent request latencies (seconds)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._lock = threading.Lock()
+        self._samples: Deque[float] = deque(maxlen=capacity)
+        self.recorded_total = 0
+
+    def record(self, latency_s: float) -> None:
+        with self._lock:
+            self._samples.append(float(latency_s))
+            self.recorded_total += 1
+
+    def snapshot(self) -> List[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def quantiles(self) -> Dict[str, float]:
+        """p50/p99 of the current reservoir (zeros when empty)."""
+        samples = self.snapshot()
+        if not samples:
+            return {"p50_s": 0.0, "p99_s": 0.0}
+        return {
+            "p50_s": percentile(samples, 50),
+            "p99_s": percentile(samples, 99),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """A point-in-time snapshot of the serving layer's health."""
+
+    queue_depth: int
+    inflight: int
+    admitted: int
+    coalesced: int
+    shed: int
+    completed: int
+    errors: int
+    cancelled: int
+    cache_hits: int
+    cache_misses: int
+    cache_entries: int
+    cache_bytes: int
+    cache_evictions: int
+    resident_graphs: int
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_samples: int
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of admitted requests that rode an in-flight twin."""
+        return self.coalesced / self.admitted if self.admitted else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        d = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+        d["coalesce_ratio"] = self.coalesce_ratio
+        d["cache_hit_rate"] = self.cache_hit_rate
+        return d
+
+    def render(self) -> str:
+        """Operator-facing table (the ``GET /metrics?format=text`` body)."""
+        rows = [
+            ["queue depth", self.queue_depth],
+            ["in flight", self.inflight],
+            ["admitted", self.admitted],
+            ["coalesced", self.coalesced],
+            ["coalesce ratio", f"{self.coalesce_ratio:.3f}"],
+            ["shed (rejected)", self.shed],
+            ["completed", self.completed],
+            ["errors", self.errors],
+            ["cancelled (deadline)", self.cancelled],
+            ["cache hits", self.cache_hits],
+            ["cache misses", self.cache_misses],
+            ["cache hit rate", f"{self.cache_hit_rate:.3f}"],
+            ["cache entries", self.cache_entries],
+            ["cache bytes", self.cache_bytes],
+            ["cache evictions", self.cache_evictions],
+            ["resident graphs", self.resident_graphs],
+            ["latency p50 (ms)", f"{self.latency_p50_s * 1e3:.2f}"],
+            ["latency p99 (ms)", f"{self.latency_p99_s * 1e3:.2f}"],
+            ["latency samples", self.latency_samples],
+        ]
+        return format_table(["metric", "value"], rows)

@@ -1,0 +1,418 @@
+"""The query scheduler: admit → coalesce → batch → mine → cache.
+
+Request lifecycle
+-----------------
+
+1. **Admit.**  :meth:`QueryScheduler.submit` first consults the
+   :class:`~repro.service.cache.ResultCache`; a hit completes the
+   request immediately.  Otherwise admission is bounded: when
+   ``max_queue`` distinct queries are already waiting, the request is
+   shed with :class:`~repro.service.query.QueryRejected` (carrying a
+   retry-after hint) — the overload policy is explicit rejection, never
+   unbounded queueing and never silent drops.
+2. **Coalesce.**  A query whose key ``(fingerprint, canonical motif,
+   delta)`` matches a queued *or running* query attaches to it instead
+   of consuming a queue slot: one execution, many waiters
+   (single-flight).  Equal keys imply byte-identical results, so
+   coalescing is exact.
+3. **Batch.**  A dispatcher thread drains the queue and groups
+   compatible entries — same graph, same δ — into one batch, which an
+   execution lane hands to the backend as a single multi-motif call
+   (:meth:`MiningPool.count_many` under :class:`PoolExecutor`), so a
+   burst of different motifs against one graph shares a single
+   dispatch wave.
+4. **Mine.**  Lanes (a small thread pool) execute batches concurrently
+   across graphs.  Per-request deadlines are enforced throughout:
+   entries whose waiters have all expired are cancelled *before*
+   mining, and a running batch polls a cancel hook so an expired batch
+   stops at the next chunk boundary
+   (:class:`~repro.mining.parallel.MiningCancelled`).
+5. **Cache.**  Fresh results are inserted into the result cache keyed
+   by the same triple, then delivered to every waiter.
+
+A worker crash or any backend exception is delivered to the affected
+waiters as an ``"error"`` result; the dispatcher, lanes and queue are
+untouched, so one poisoned query can never wedge the scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional
+
+from repro.mining.parallel import MiningCancelled
+from repro.motifs.motif import Motif
+from repro.service.cache import ResultCache
+from repro.service.metrics import LatencyReservoir, ServiceMetrics
+from repro.service.query import (
+    MotifQuery,
+    QueryKey,
+    QueryRejected,
+    QueryResult,
+    ServiceClosed,
+    UnknownGraph,
+    build_payload,
+)
+from repro.service.registry import GraphRegistry
+
+
+class _Waiter:
+    """One submitted request waiting on (possibly shared) execution."""
+
+    __slots__ = ("query", "event", "result", "deadline", "expired", "admit_t", "source")
+
+    def __init__(self, query: MotifQuery, admit_t: float, source: str) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.result: Optional[QueryResult] = None
+        self.deadline = (
+            admit_t + query.timeout_s if query.timeout_s is not None else None
+        )
+        self.expired = False
+        self.admit_t = admit_t
+        self.source = source
+
+
+class _Entry:
+    """One distinct in-flight key and every waiter attached to it."""
+
+    __slots__ = ("key", "fingerprint", "motif", "delta", "waiters", "state")
+
+    def __init__(self, key: QueryKey, query: MotifQuery, waiter: _Waiter) -> None:
+        self.key = key
+        self.fingerprint = query.fingerprint
+        self.motif: Motif = query.motif
+        self.delta = int(query.delta)
+        self.waiters: List[_Waiter] = [waiter]
+        self.state = "queued"
+
+    def all_expired(self, now: float) -> bool:
+        """True when no attached waiter can still use the result."""
+        return all(
+            w.expired or (w.deadline is not None and now > w.deadline)
+            for w in self.waiters
+        )
+
+
+class PendingQuery:
+    """Caller-side handle for one submitted query."""
+
+    def __init__(self, waiter: _Waiter) -> None:
+        self._waiter = waiter
+
+    def done(self) -> bool:
+        return self._waiter.event.is_set()
+
+    def result(self) -> QueryResult:
+        """Block until delivery or the query's own deadline.
+
+        On deadline expiry the waiter is marked expired — the scheduler
+        will skip the entry if it is still queued and cancel a running
+        batch once every attached waiter has expired — and a
+        ``"deadline_exceeded"`` result is returned.
+        """
+        w = self._waiter
+        while True:
+            if w.deadline is None:
+                w.event.wait()
+            else:
+                w.event.wait(max(0.0, w.deadline - time.monotonic()))
+            if w.event.is_set():
+                return w.result  # type: ignore[return-value]
+            if w.deadline is not None and time.monotonic() >= w.deadline:
+                w.expired = True
+                return QueryResult(
+                    status="deadline_exceeded",
+                    source=w.source,
+                    error="deadline exceeded before completion",
+                    latency_s=time.monotonic() - w.admit_t,
+                )
+
+
+class QueryScheduler:
+    """Bounded, coalescing, deadline-aware scheduler over a mining backend."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        cache: ResultCache,
+        executor,
+        *,
+        max_queue: int = 128,
+        lanes: int = 2,
+        max_batch: int = 16,
+        latency_capacity: int = 4096,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if lanes < 1:
+            raise ValueError("lanes must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.registry = registry
+        self.cache = cache
+        self.executor = executor
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self._lanes_count = int(lanes)
+
+        self._cond = threading.Condition()
+        self._entries: Dict[QueryKey, _Entry] = {}
+        self._queue: Deque[_Entry] = deque()
+        self._paused = False
+        self._closed = False
+        self._inflight = 0
+
+        self.admitted = 0
+        self.coalesced = 0
+        self.shed = 0
+        self.completed = 0
+        self.errors = 0
+        self.cancelled = 0
+        self.latency = LatencyReservoir(latency_capacity)
+
+        self._lane_pool = ThreadPoolExecutor(
+            max_workers=self._lanes_count, thread_name_prefix="mint-lane"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="mint-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, query: MotifQuery) -> PendingQuery:
+        """Admit one query; returns a handle (never blocks on mining)."""
+        now = time.monotonic()
+        key = query.key
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("scheduler is closed")
+            cached = self.cache.get(key)
+            if cached is not None:
+                waiter = _Waiter(query, now, "cache")
+                payload = build_payload(
+                    query.fingerprint,
+                    query.motif,
+                    query.delta,
+                    cached.count,
+                    cached.counters,
+                )
+                latency = time.monotonic() - now
+                waiter.result = QueryResult("ok", payload, "cache", None, latency)
+                waiter.event.set()
+                self.admitted += 1
+                self.completed += 1
+                self.latency.record(latency)
+                return PendingQuery(waiter)
+            entry = self._entries.get(key)
+            if entry is not None:
+                waiter = _Waiter(query, now, "coalesced")
+                entry.waiters.append(waiter)
+                self.admitted += 1
+                self.coalesced += 1
+                return PendingQuery(waiter)
+            if len(self._queue) >= self.max_queue:
+                self.shed += 1
+                hint = self._retry_hint_locked()
+                raise QueryRejected(
+                    f"admission queue full ({self.max_queue} queries queued); "
+                    f"retry after {hint:.2f}s",
+                    retry_after_s=hint,
+                )
+            waiter = _Waiter(query, now, "mined")
+            entry = _Entry(key, query, waiter)
+            self._entries[key] = entry
+            self._queue.append(entry)
+            self.admitted += 1
+            self._cond.notify_all()
+            return PendingQuery(waiter)
+
+    def _retry_hint_locked(self) -> float:
+        """Retry-after estimate: backlog drained at recent p50 per lane."""
+        per_query = self.latency.quantiles()["p50_s"] or 0.05
+        backlog = len(self._queue) + self._inflight
+        return min(30.0, max(0.05, backlog * per_query / self._lanes_count))
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and (self._paused or not self._queue):
+                    self._cond.wait()
+                if self._closed:
+                    leftovers = list(self._queue)
+                    self._queue.clear()
+                    break
+                group = [self._queue.popleft()]
+                fp, delta = group[0].fingerprint, group[0].delta
+                rest: Deque[_Entry] = deque()
+                while self._queue and len(group) < self.max_batch:
+                    e = self._queue.popleft()
+                    if e.fingerprint == fp and e.delta == delta:
+                        group.append(e)
+                    else:
+                        rest.append(e)
+                rest.extend(self._queue)
+                self._queue = rest
+                for e in group:
+                    e.state = "running"
+                self._inflight += len(group)
+            self._lane_pool.submit(self._execute_group, group)
+        for entry in leftovers:
+            self._deliver(entry, "closed", error="service closed before execution")
+
+    def _execute_group(self, group: List[_Entry]) -> None:
+        now = time.monotonic()
+        live: List[_Entry] = []
+        for entry in group:
+            if entry.all_expired(now):
+                self._deliver(
+                    entry,
+                    "deadline_exceeded",
+                    error="deadline expired while queued",
+                )
+            else:
+                live.append(entry)
+        if not live:
+            return
+        fp, delta = live[0].fingerprint, live[0].delta
+        try:
+            graph = self.registry.get(fp)
+        except UnknownGraph as exc:
+            for entry in live:
+                self._deliver(entry, "error", error=str(exc))
+            return
+
+        def cancel_check() -> bool:
+            t = time.monotonic()
+            return all(e.all_expired(t) for e in live)
+
+        try:
+            results = self.executor.count_batch(
+                graph, [e.motif for e in live], delta, cancel_check
+            )
+        except MiningCancelled:
+            for entry in live:
+                self._deliver(
+                    entry, "deadline_exceeded", error="cancelled while running"
+                )
+            return
+        except Exception as exc:  # noqa: BLE001 - must never wedge the lanes
+            message = f"{type(exc).__name__}: {exc}"
+            for entry in live:
+                self._deliver(entry, "error", error=message)
+            return
+        for entry, (count, counters) in zip(live, results):
+            self.cache.put(entry.key, count, counters)
+            self._deliver(entry, "ok", count=count, counters=counters)
+
+    def _deliver(
+        self,
+        entry: _Entry,
+        status: str,
+        count: int = 0,
+        counters: Optional[Dict[str, int]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        now = time.monotonic()
+        with self._cond:
+            self._entries.pop(entry.key, None)
+            if entry.state == "running":
+                self._inflight -= 1
+            waiters = list(entry.waiters)
+            if status == "ok":
+                self.completed += len(waiters)
+            elif status == "deadline_exceeded":
+                self.cancelled += len(waiters)
+            else:
+                self.errors += len(waiters)
+        for w in waiters:
+            latency = now - w.admit_t
+            if status == "ok":
+                payload = build_payload(
+                    entry.fingerprint,
+                    w.query.motif,
+                    entry.delta,
+                    count,
+                    counters or {},
+                )
+                w.result = QueryResult("ok", payload, w.source, None, latency)
+                self.latency.record(latency)
+            else:
+                w.result = QueryResult(status, None, w.source, error, latency)
+            w.event.set()
+
+    # -- flow control ----------------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop dispatching (admission continues) — drain/test hook."""
+        with self._cond:
+            self._paused = True
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> ServiceMetrics:
+        with self._cond:
+            queue_depth = len(self._queue)
+            inflight = self._inflight
+            admitted = self.admitted
+            coalesced = self.coalesced
+            shed = self.shed
+            completed = self.completed
+            errors = self.errors
+            cancelled = self.cancelled
+        cache_stats = self.cache.stats()
+        quantiles = self.latency.quantiles()
+        return ServiceMetrics(
+            queue_depth=queue_depth,
+            inflight=inflight,
+            admitted=admitted,
+            coalesced=coalesced,
+            shed=shed,
+            completed=completed,
+            errors=errors,
+            cancelled=cancelled,
+            cache_hits=int(cache_stats["hits"]),
+            cache_misses=int(cache_stats["misses"]),
+            cache_entries=int(cache_stats["entries"]),
+            cache_bytes=int(cache_stats["bytes_used"]),
+            cache_evictions=int(cache_stats["evictions"]),
+            resident_graphs=self.registry.resident_count,
+            latency_p50_s=quantiles["p50_s"],
+            latency_p99_s=quantiles["p99_s"],
+            latency_samples=self.latency.recorded_total,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting, drain queued entries as ``"closed"``, join."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+        self._lane_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

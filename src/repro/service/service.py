@@ -1,0 +1,250 @@
+"""`MotifService` — the thread-based serving front end.
+
+Ties the pieces together: a :class:`GraphRegistry` (graph identity +
+residency), a :class:`ResultCache` (fingerprint-keyed memoization), a
+mining backend (:class:`InlineExecutor` or :class:`PoolExecutor`) and
+the :class:`QueryScheduler` (admission, coalescing, batching,
+deadlines).  Registry evictions cascade: the evicted graph's cache
+entries are invalidated and its resident mining pool (if any) is
+closed.
+
+Beyond batch queries over registered graphs, the service hosts **live
+streams**: named incremental counters
+(:class:`~repro.streaming.counter.StreamingCounter`) that ingest edges
+online and answer two kinds of questions —
+
+- *running totals* (:meth:`stream_counts`): the exact count over the
+  whole ingested prefix, maintained incrementally;
+- *live-window queries* (:meth:`stream_window_query`): any catalog
+  motif counted on the edges currently inside the δ-window, served
+  through the ordinary scheduler path (the window snapshot is
+  registered under its own fingerprint, so identical windows coalesce
+  and cache like any other graph).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.motifs.catalog import motif_by_name
+from repro.motifs.motif import Motif
+from repro.service.cache import ResultCache
+from repro.service.executor import InlineExecutor, PoolExecutor
+from repro.service.metrics import ServiceMetrics
+from repro.service.query import MotifQuery, QueryResult, UnknownGraph
+from repro.service.registry import GraphRegistry
+from repro.service.scheduler import PendingQuery, QueryScheduler
+from repro.streaming.counter import StreamingCounter
+
+GraphRef = Union[TemporalGraph, str]
+MotifRef = Union[Motif, str]
+
+
+class _LiveStream:
+    """One named online counter plus its ingestion lock."""
+
+    __slots__ = ("name", "counter", "lock")
+
+    def __init__(self, name: str, counter: StreamingCounter) -> None:
+        self.name = name
+        self.counter = counter
+        self.lock = threading.Lock()
+
+
+class MotifService:
+    """Concurrent motif-query serving over registered temporal graphs."""
+
+    def __init__(
+        self,
+        *,
+        num_workers: int = 0,
+        max_queue: int = 128,
+        lanes: int = 2,
+        max_batch: int = 16,
+        cache_bytes: int = 64 * 1024 * 1024,
+        max_idle_graphs: int = 4,
+    ) -> None:
+        self.registry = GraphRegistry(max_idle=max_idle_graphs)
+        self.cache = ResultCache(max_bytes=cache_bytes)
+        if num_workers > 0:
+            self.executor = PoolExecutor(num_workers)
+        else:
+            self.executor = InlineExecutor()
+        self.scheduler = QueryScheduler(
+            self.registry,
+            self.cache,
+            self.executor,
+            max_queue=max_queue,
+            lanes=lanes,
+            max_batch=max_batch,
+        )
+        self.registry.add_evict_listener(self._on_graph_evicted)
+        self._streams: Dict[str, _LiveStream] = {}
+        self._streams_lock = threading.Lock()
+        self._closed = False
+
+    def _on_graph_evicted(self, fingerprint: str) -> None:
+        self.cache.invalidate_fingerprint(fingerprint)
+        self.executor.release_graph(fingerprint)
+
+    # -- graph management ------------------------------------------------------
+
+    def register_graph(
+        self, graph: TemporalGraph, name: Optional[str] = None
+    ) -> str:
+        """Pin a graph for serving; returns its content fingerprint."""
+        return self.registry.register(graph, name=name)
+
+    def release_graph(self, fingerprint: str) -> None:
+        self.registry.release(fingerprint)
+
+    def graphs(self) -> Dict[str, str]:
+        """``name -> fingerprint`` for every registered alias."""
+        return self.registry.names()
+
+    # -- queries ---------------------------------------------------------------
+
+    def _resolve_graph(self, graph: GraphRef) -> str:
+        if isinstance(graph, TemporalGraph):
+            fp = graph.fingerprint()
+            if fp not in self.registry:
+                # Transient registration: one reference, released right
+                # away so the graph rides the idle LRU.
+                self.registry.register(graph)
+                self.registry.release(fp)
+            return fp
+        return self.registry.resolve(graph)
+
+    @staticmethod
+    def _resolve_motif(motif: MotifRef) -> Motif:
+        if isinstance(motif, Motif):
+            return motif
+        return motif_by_name(motif)
+
+    def submit(
+        self,
+        graph: GraphRef,
+        motif: MotifRef,
+        delta: int,
+        timeout_s: Optional[float] = None,
+    ) -> PendingQuery:
+        """Admit a query without blocking; raises
+        :class:`~repro.service.query.QueryRejected` under overload."""
+        query = MotifQuery(
+            fingerprint=self._resolve_graph(graph),
+            motif=self._resolve_motif(motif),
+            delta=int(delta),
+            timeout_s=timeout_s,
+        )
+        return self.scheduler.submit(query)
+
+    def query(
+        self,
+        graph: GraphRef,
+        motif: MotifRef,
+        delta: int,
+        timeout_s: Optional[float] = None,
+    ) -> QueryResult:
+        """Submit and block for the result (or deadline)."""
+        return self.submit(graph, motif, delta, timeout_s).result()
+
+    # -- live streams ----------------------------------------------------------
+
+    def open_stream(self, name: str, motif: MotifRef, delta: int) -> str:
+        """Create a named online counter; returns the name."""
+        stream = _LiveStream(
+            name, StreamingCounter(self._resolve_motif(motif), int(delta))
+        )
+        with self._streams_lock:
+            if name in self._streams:
+                raise ValueError(f"stream {name!r} already exists")
+            self._streams[name] = stream
+        return name
+
+    def _stream(self, name: str) -> _LiveStream:
+        with self._streams_lock:
+            try:
+                return self._streams[name]
+            except KeyError:
+                raise UnknownGraph(f"unknown stream {name!r}") from None
+
+    def append_stream(
+        self, name: str, edges: Iterable[Tuple[int, int, int]]
+    ) -> Dict[str, int]:
+        """Ingest edges into a live stream; returns ingest accounting."""
+        stream = self._stream(name)
+        with stream.lock:
+            completed = stream.counter.add_batch(edges)
+            return {
+                "appended": stream.counter.num_edges,
+                "completed": completed,
+                "count": stream.counter.count,
+                "window_edges": stream.counter.window_size,
+            }
+
+    def stream_counts(self, name: str) -> Dict[str, int]:
+        """Running exact totals for one live stream."""
+        stream = self._stream(name)
+        with stream.lock:
+            c = stream.counter
+            return {
+                "stream": name,
+                "motif": c.motif.name,
+                "delta": c.delta,
+                "count": c.count,
+                "num_edges": c.num_edges,
+                "window_edges": c.window_size,
+                "live_partials": c.live_partials,
+            }
+
+    def stream_window_query(
+        self,
+        name: str,
+        motif: MotifRef,
+        delta: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> QueryResult:
+        """Count any motif on a stream's *current* δ-window.
+
+        The window snapshot goes through the normal serve path, so two
+        clients asking about the same unchanged window coalesce, and an
+        unchanged window re-queried later is a cache hit.
+        """
+        stream = self._stream(name)
+        with stream.lock:
+            snapshot = stream.counter.window_snapshot()
+            if delta is None:
+                delta = stream.counter.delta
+        return self.query(snapshot, motif, int(delta), timeout_s=timeout_s)
+
+    def close_stream(self, name: str) -> None:
+        with self._streams_lock:
+            if self._streams.pop(name, None) is None:
+                raise UnknownGraph(f"unknown stream {name!r}")
+
+    def streams(self) -> List[str]:
+        with self._streams_lock:
+            return sorted(self._streams)
+
+    # -- observability / lifecycle ---------------------------------------------
+
+    def metrics(self) -> ServiceMetrics:
+        return self.scheduler.metrics()
+
+    def render_metrics(self) -> str:
+        return self.metrics().render()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.executor.close()
+
+    def __enter__(self) -> "MotifService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

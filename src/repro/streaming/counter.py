@@ -286,6 +286,16 @@ class StreamingCounter:
         """The ingested prefix as a batch-minable :class:`TemporalGraph`."""
         return self.buffer.snapshot()
 
+    def window_snapshot(self) -> TemporalGraph:
+        """Only the edges inside the live δ-window, as a graph.
+
+        This is what the serving layer mines for live-window queries
+        ("how many motifs completed in the last δ seconds?"): any
+        catalog motif — not just the streamed one — can be counted on
+        the window through the ordinary batch path.
+        """
+        return self.buffer.window_snapshot()
+
     def __repr__(self) -> str:
         return (
             f"StreamingCounter({self.motif.name!r}, delta={self.delta}, "
@@ -357,6 +367,9 @@ class StreamingCatalogCounter:
 
     def snapshot(self) -> TemporalGraph:
         return self.buffer.snapshot()
+
+    def window_snapshot(self) -> TemporalGraph:
+        return self.buffer.window_snapshot()
 
 
 class StreamingGridCounter(StreamingCatalogCounter):

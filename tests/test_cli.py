@@ -172,3 +172,67 @@ class TestStream:
     def test_stream_unknown_source(self, capsys):
         assert main(["stream", "no-such-dataset", "--delta", "10"]) == 2
         assert "error" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_mine_json_payload_shape(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(["mine", path, "--motif", "M1", "--delta", str(delta),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"graph", "motif", "delta", "count", "counters"}
+        assert payload["motif"] == "M1"
+        assert payload["graph"] == g.fingerprint()
+        from repro.mining.mackey import count_motifs
+        from repro.motifs.catalog import M1
+
+        assert payload["count"] == count_motifs(g, M1, delta)
+
+    def test_mine_json_matches_service_payload_bytes(self, graph_file, capsys):
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(["mine", path, "--motif", "M2", "--delta", str(delta),
+                     "--json"]) == 0
+        cli_line = capsys.readouterr().out.strip()
+        from repro.service import MotifService, payload_bytes
+
+        with MotifService() as svc:
+            served = svc.query(g, "M2", delta)
+        assert cli_line.encode() == payload_bytes(served.payload)
+
+    def test_mine_json_workers_same_count(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        delta = g.time_span // 30
+        assert main(["mine", path, "--motif", "M1", "--delta", str(delta),
+                     "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["mine", path, "--motif", "M1", "--delta", str(delta),
+                     "--workers", "2", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_mine_json_rejects_show_matches(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["mine", path, "--delta", "10", "--json",
+                     "--show-matches", "1"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_census_json_matches_text_totals(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        delta = g.time_span // 60
+        assert main(["census", path, "--delta", str(delta)]) == 0
+        text_out = capsys.readouterr().out
+        total = int(text_out.rsplit("total:", 1)[1].strip().replace(",", ""))
+        assert main(["census", path, "--delta", str(delta), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"graph", "delta", "grid", "total"}
+        assert payload["total"] == total
+        assert len(payload["grid"]) == 36
+        assert payload["graph"] == g.fingerprint()

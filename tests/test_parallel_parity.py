@@ -148,3 +148,50 @@ class TestFromArrays:
             TemporalGraph.from_arrays(
                 np.array([0, -1]), np.array([1, 0]), np.array([5, 6])
             )
+
+
+class TestCancellation:
+    """The serving layer's deadline hook: `cancel_check` polled at chunk
+    boundaries aborts the dispatch wave with MiningCancelled and leaves
+    the pool reusable."""
+
+    def test_immediate_cancel_raises(self, graph, serial):
+        from repro.mining.parallel import MiningCancelled
+
+        delta, expected = serial
+        with MiningPool(graph, 2) as pool:
+            with pytest.raises(MiningCancelled):
+                pool.count(M1, delta, cancel_check=lambda: True)
+            # The pool survives a cancelled wave and still mines exactly.
+            result = pool.count(M1, delta)
+            assert result.count == expected.count
+
+    def test_cancel_midway(self, graph, serial):
+        from repro.mining.parallel import MiningCancelled
+
+        delta, _ = serial
+        calls = []
+
+        def cancel_after_two():
+            calls.append(None)
+            return len(calls) > 2
+
+        with MiningPool(graph, 2) as pool:
+            with pytest.raises(MiningCancelled):
+                pool.count(M1, delta, chunks_per_worker=16,
+                           cancel_check=cancel_after_two)
+        assert len(calls) >= 3
+
+    def test_never_cancelled_matches_serial(self, graph, serial):
+        delta, expected = serial
+        with MiningPool(graph, 2) as pool:
+            result = pool.count(M1, delta, cancel_check=lambda: False)
+        assert result.count == expected.count
+
+    def test_close_is_idempotent_and_guards_reuse(self, graph):
+        pool = MiningPool(graph, 1)
+        pool.close()
+        pool.close()  # second close is a no-op
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.count(M1, 10)

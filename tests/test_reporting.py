@@ -1,8 +1,15 @@
 """Tests for table rendering and numeric helpers."""
 
+import math
+
 import pytest
 
-from repro.analysis.reporting import format_markdown, format_table, geomean
+from repro.analysis.reporting import (
+    format_markdown,
+    format_rate,
+    format_table,
+    geomean,
+)
 
 
 class TestGeomean:
@@ -13,12 +20,54 @@ class TestGeomean:
         assert geomean([7.0]) == pytest.approx(7.0)
 
     def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="empty"):
             geomean([])
 
     def test_nonpositive_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive"):
             geomean([1.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            geomean([2.0, -3.0])
+
+    def test_nan_rejected(self):
+        # NaN slips through `v <= 0` comparisons; it must not silently
+        # poison the mean.
+        with pytest.raises(ValueError, match="NaN"):
+            geomean([1.0, float("nan")])
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, math.inf])
+
+
+class TestFormatRate:
+    def test_plain(self):
+        assert format_rate(12.34, "edges/s") == "12.3 edges/s"
+
+    def test_kilo(self):
+        assert format_rate(12_345, "edges/s") == "12.3k edges/s"
+
+    def test_mega(self):
+        assert format_rate(2_500_000, "q/s") == "2.50M q/s"
+
+    def test_zero(self):
+        assert format_rate(0.0, "edges/s") == "0.0 edges/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            format_rate(-1.0, "edges/s")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            format_rate(float("nan"), "edges/s")
+
+    def test_infinity_rejected(self):
+        # A zero-elapsed timer upstream must fail loudly, not render
+        # "inf edges/s".
+        with pytest.raises(ValueError, match="finite"):
+            format_rate(math.inf, "edges/s")
 
 
 class TestFormatTable:

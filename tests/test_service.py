@@ -1,0 +1,408 @@
+"""Unit tests for the serving layer's building blocks.
+
+Covers the pieces below the scheduler: the ref-counted
+:class:`GraphRegistry`, the bytes-bounded :class:`ResultCache`, the
+latency/metrics helpers and the query/payload records.  Scheduler and
+end-to-end behaviour live in ``test_service_scheduler.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.motifs.catalog import M1, M2, motif_by_name
+from repro.motifs.motif import Motif
+from repro.motifs.parse import parse_motif
+from repro.service import (
+    GraphRegistry,
+    LatencyReservoir,
+    MotifQuery,
+    ResultCache,
+    ServiceMetrics,
+    UnknownGraph,
+    build_payload,
+    payload_bytes,
+    percentile,
+)
+
+
+def make_graph(shift: int = 0) -> TemporalGraph:
+    """A small distinct graph per ``shift`` (distinct fingerprints)."""
+    return TemporalGraph(
+        [(0, 1, 5 + shift), (1, 2, 10 + shift), (2, 0, 20 + shift)]
+    )
+
+
+class TestGraphRegistry:
+    def test_register_returns_fingerprint(self):
+        reg = GraphRegistry()
+        g = make_graph()
+        assert reg.register(g) == g.fingerprint()
+        assert g.fingerprint() in reg
+
+    def test_register_same_content_is_idempotent(self):
+        reg = GraphRegistry()
+        fp1 = reg.register(make_graph())
+        fp2 = reg.register(make_graph())  # same content, new object
+        assert fp1 == fp2
+        assert reg.resident_count == 1
+        assert reg.refcount(fp1) == 2
+
+    def test_release_decrements_then_idles(self):
+        reg = GraphRegistry()
+        fp = reg.register(make_graph())
+        reg.register(make_graph())
+        reg.release(fp)
+        assert reg.refcount(fp) == 1
+        assert reg.idle_count == 0
+        reg.release(fp)
+        assert reg.refcount(fp) == 0
+        assert reg.idle_count == 1
+        # Idle graphs are still resident and fetchable.
+        assert reg.get(fp).num_edges == 3
+
+    def test_idle_lru_eviction_fires_listeners(self):
+        reg = GraphRegistry(max_idle=2)
+        evicted = []
+        reg.add_evict_listener(evicted.append)
+        fps = []
+        for i in range(3):
+            fp = reg.register(make_graph(i))
+            reg.release(fp)
+            fps.append(fp)
+        # Three idle graphs, limit two: the oldest idle one is evicted.
+        assert evicted == [fps[0]]
+        assert fps[0] not in reg
+        assert fps[1] in reg and fps[2] in reg
+        assert reg.evicted_total == 1
+
+    def test_get_touches_idle_lru(self):
+        reg = GraphRegistry(max_idle=2)
+        evicted = []
+        reg.add_evict_listener(evicted.append)
+        fps = []
+        for i in range(2):
+            fp = reg.register(make_graph(i))
+            reg.release(fp)
+            fps.append(fp)
+        reg.get(fps[0])  # touch the older idle graph
+        fp2 = reg.register(make_graph(2))
+        reg.release(fp2)
+        # fps[1] is now least recently used and goes first.
+        assert evicted == [fps[1]]
+        assert fps[0] in reg
+
+    def test_reregister_rescues_idle_graph(self):
+        reg = GraphRegistry(max_idle=1)
+        fp = reg.register(make_graph())
+        reg.release(fp)
+        assert reg.idle_count == 1
+        assert reg.register(make_graph()) == fp
+        assert reg.idle_count == 0
+        assert reg.refcount(fp) == 1
+
+    def test_names_resolve_and_evict_with_graph(self):
+        reg = GraphRegistry(max_idle=0)
+        fp = reg.register(make_graph(), name="wiki")
+        assert reg.resolve("wiki") == fp
+        assert reg.resolve(fp) == fp
+        assert reg.names() == {"wiki": fp}
+        reg.release(fp)  # max_idle=0: immediate eviction
+        assert reg.names() == {}
+        with pytest.raises(UnknownGraph):
+            reg.resolve("wiki")
+
+    def test_unknown_lookups_raise(self):
+        reg = GraphRegistry()
+        with pytest.raises(UnknownGraph):
+            reg.get("no-such-fp")
+        with pytest.raises(UnknownGraph):
+            reg.release("no-such-fp")
+        with pytest.raises(UnknownGraph):
+            reg.resolve("no-such-name")
+        with pytest.raises(UnknownGraph):
+            reg.refcount("no-such-fp")
+
+    def test_negative_max_idle_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GraphRegistry(max_idle=-1)
+
+
+def key_for(fp: str, motif: Motif = M1, delta: int = 10):
+    return (fp, motif.canonical_key(), delta)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        k = key_for("fp-a")
+        assert cache.get(k) is None
+        assert cache.put(k, 7, {"edges": 3})
+        got = cache.get(k)
+        assert got.count == 7
+        assert got.counters == {"edges": 3}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_under_byte_budget(self):
+        # Each entry here estimates to 66 bytes: room for one, not two.
+        cache = ResultCache(max_bytes=100)
+        k1, k2 = key_for("fp-a"), key_for("fp-b")
+        assert cache.put(k1, 1, {})
+        assert cache.put(k2, 2, {})
+        assert cache.entry_count == 1
+        assert cache.get(k1) is None
+        assert cache.get(k2).count == 2
+        assert cache.evictions == 1
+
+    def test_get_refreshes_lru_order(self):
+        cache = ResultCache(max_bytes=140)
+        k1, k2 = key_for("fp-a"), key_for("fp-b")
+        assert cache.put(k1, 1, {})
+        assert cache.put(k2, 2, {})
+        assert cache.entry_count == 2
+        cache.get(k1)  # k2 becomes the LRU victim
+        cache.put(key_for("fp-c"), 3, {})
+        assert cache.get(k1) is not None
+        assert cache.get(k2) is None
+
+    def test_oversized_entry_refused(self):
+        cache = ResultCache(max_bytes=10)
+        assert not cache.put(key_for("fp-a"), 1, {"edges": 3})
+        assert cache.entry_count == 0
+        assert cache.bytes_used == 0
+
+    def test_refresh_same_key_does_not_leak_bytes(self):
+        cache = ResultCache()
+        k = key_for("fp-a")
+        cache.put(k, 1, {"edges": 3})
+        before = cache.bytes_used
+        cache.put(k, 2, {"edges": 3})
+        assert cache.bytes_used == before
+        assert cache.entry_count == 1
+        assert cache.get(k).count == 2
+
+    def test_invalidate_fingerprint(self):
+        cache = ResultCache()
+        cache.put(key_for("fp-a", M1), 1, {})
+        cache.put(key_for("fp-a", M2), 2, {})
+        cache.put(key_for("fp-b", M1), 3, {})
+        assert cache.invalidate_fingerprint("fp-a") == 2
+        assert cache.entry_count == 1
+        assert cache.get(key_for("fp-b", M1)).count == 3
+        assert cache.bytes_used == cache.get(key_for("fp-b", M1)).nbytes
+
+    def test_concurrent_put_get_stays_consistent(self):
+        cache = ResultCache(max_bytes=4096)  # small: constant eviction
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(200):
+                    k = key_for(f"fp-{worker}-{i % 17}")
+                    cache.put(k, i, {"edges": i})
+                    got = cache.get(k)
+                    if got is not None and got.count % 1 != 0:
+                        errors.append("corrupt entry")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert 0 <= cache.bytes_used <= cache.max_bytes
+        # Byte accounting must agree with the surviving entries.
+        total = sum(e.nbytes for e in cache._entries.values())
+        assert total == cache.bytes_used
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put(key_for("fp-a"), 1, {})
+        cache.clear()
+        assert cache.entry_count == 0 and cache.bytes_used == 0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        vals = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(vals, 50) == 5
+        assert percentile(vals, 99) == 10
+        assert percentile(vals, 0) == 1
+        assert percentile(vals, 100) == 10
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101)
+
+
+class TestLatencyReservoir:
+    def test_bounded_capacity(self):
+        res = LatencyReservoir(capacity=4)
+        for i in range(10):
+            res.record(float(i))
+        assert res.snapshot() == [6.0, 7.0, 8.0, 9.0]
+        assert res.recorded_total == 10
+
+    def test_quantiles_empty_is_zero(self):
+        assert LatencyReservoir().quantiles() == {"p50_s": 0.0, "p99_s": 0.0}
+
+    def test_quantiles(self):
+        res = LatencyReservoir()
+        for v in [0.1, 0.2, 0.3, 0.4]:
+            res.record(v)
+        q = res.quantiles()
+        assert q["p50_s"] == pytest.approx(0.2)
+        assert q["p99_s"] == pytest.approx(0.4)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            LatencyReservoir(capacity=0)
+
+
+def make_metrics(**overrides) -> ServiceMetrics:
+    base = dict(
+        queue_depth=0, inflight=0, admitted=0, coalesced=0, shed=0,
+        completed=0, errors=0, cancelled=0, cache_hits=0, cache_misses=0,
+        cache_entries=0, cache_bytes=0, cache_evictions=0,
+        resident_graphs=0, latency_p50_s=0.0, latency_p99_s=0.0,
+        latency_samples=0,
+    )
+    base.update(overrides)
+    return ServiceMetrics(**base)
+
+
+class TestServiceMetrics:
+    def test_ratios(self):
+        m = make_metrics(admitted=10, coalesced=4, cache_hits=3, cache_misses=1)
+        assert m.coalesce_ratio == pytest.approx(0.4)
+        assert m.cache_hit_rate == pytest.approx(0.75)
+
+    def test_ratios_zero_denominator(self):
+        m = make_metrics()
+        assert m.coalesce_ratio == 0.0
+        assert m.cache_hit_rate == 0.0
+
+    def test_as_dict_carries_derived_fields(self):
+        d = make_metrics(admitted=2, coalesced=1).as_dict()
+        assert d["coalesce_ratio"] == pytest.approx(0.5)
+        assert "cache_hit_rate" in d
+        assert d["admitted"] == 2
+
+    def test_render_mentions_key_metrics(self):
+        text = make_metrics(shed=3).render()
+        assert "coalesce ratio" in text
+        assert "shed (rejected)" in text
+        assert "latency p99 (ms)" in text
+
+
+class TestMotifQuery:
+    def test_key_triple(self):
+        q = MotifQuery("fp", M1, 10)
+        assert q.key == ("fp", M1.canonical_key(), 10)
+
+    def test_identical_spec_shares_key_with_catalog(self):
+        # An inline spec identical to catalog M1 must coalesce with it.
+        spec = "; ".join(f"n{u}->n{v}" for u, v in M1.edges)
+        inline = parse_motif(spec, name="custom")
+        assert MotifQuery("fp", inline, 10).key == MotifQuery("fp", M1, 10).key
+
+    def test_different_motifs_different_keys(self):
+        assert MotifQuery("fp", M1, 10).key != MotifQuery("fp", M2, 10).key
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MotifQuery("fp", M1, -1)
+        with pytest.raises(ValueError, match="positive"):
+            MotifQuery("fp", M1, 10, timeout_s=0)
+
+
+class TestPayload:
+    def test_build_payload_coerces_ints(self):
+        p = build_payload("fp", motif_by_name("M1"), 10, 3, {"edges": 2.0})
+        assert p == {
+            "graph": "fp",
+            "motif": "M1",
+            "delta": 10,
+            "count": 3,
+            "counters": {"edges": 2},
+        }
+
+    def test_payload_bytes_deterministic(self):
+        p1 = {"b": 1, "a": 2}
+        p2 = {"a": 2, "b": 1}
+        assert payload_bytes(p1) == payload_bytes(p2)
+        assert payload_bytes(p1) == b'{"a":2,"b":1}'
+
+
+class TestPoolExecutor:
+    def test_validation(self):
+        from repro.service import PoolExecutor
+
+        with pytest.raises(ValueError, match="at least one worker"):
+            PoolExecutor(0)
+        with pytest.raises(ValueError, match="positive"):
+            PoolExecutor(1, max_pools=0)
+
+    def test_pool_reuse_and_lru_eviction(self):
+        from repro.mining.mackey import count_motifs
+        from repro.service import PoolExecutor
+
+        g1, g2 = make_graph(0), make_graph(1)
+        executor = PoolExecutor(1, max_pools=1)
+        try:
+            (count1, _), = executor.count_batch(g1, [M1], 100, None)
+            assert count1 == count_motifs(g1, M1, 100)
+            pool1 = executor._pools[g1.fingerprint()]
+            # Same graph again: the pool is reused, not rebuilt.
+            executor.count_batch(g1, [M1], 100, None)
+            assert executor._pools[g1.fingerprint()] is pool1
+            # A second graph exceeds max_pools=1: g1's pool is evicted
+            # and closed.
+            (count2, _), = executor.count_batch(g2, [M1], 100, None)
+            assert count2 == count_motifs(g2, M1, 100)
+            assert list(executor._pools) == [g2.fingerprint()]
+            assert pool1.closed
+        finally:
+            executor.close()
+        assert executor._pools == {}
+
+    def test_release_graph_closes_pool(self):
+        from repro.service import PoolExecutor
+
+        g = make_graph()
+        executor = PoolExecutor(1)
+        try:
+            executor.count_batch(g, [M1], 100, None)
+            pool = executor._pools[g.fingerprint()]
+            executor.release_graph(g.fingerprint())
+            assert pool.closed
+            assert executor._pools == {}
+            # Releasing an unknown fingerprint is a no-op.
+            executor.release_graph("nope")
+        finally:
+            executor.close()
+
+    def test_inline_executor_cancel_between_motifs(self, tiny_graph):
+        from repro.mining.parallel import MiningCancelled
+        from repro.service import InlineExecutor
+
+        calls = iter([False, True])
+        with pytest.raises(MiningCancelled):
+            InlineExecutor().count_batch(
+                tiny_graph, [M1, M2], 100, lambda: next(calls)
+            )

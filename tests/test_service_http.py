@@ -1,0 +1,272 @@
+"""HTTP endpoint tests for ``repro serve``.
+
+Binds a real :class:`ServiceHTTPServer` to an ephemeral port, drives it
+with ``http.client`` from the same process and checks every route plus
+the error mapping (400 bad input, 404 unknown, 429 overload with
+``Retry-After``, 504 missed deadline).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import MackeyMiner
+from repro.motifs.catalog import M1
+from repro.service import MotifService, build_payload, make_server, payload_bytes
+
+DELTA = 30
+
+
+@pytest.fixture
+def served_graph(burst_graph):
+    """A live server with one registered graph; yields (conn, graph, fp)."""
+    service = MotifService(max_queue=4)
+    fp = service.register_graph(burst_graph, name="burst")
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    conn = HTTPConnection(host, port, timeout=10)
+    try:
+        yield conn, burst_graph, fp, service
+    finally:
+        conn.close()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.close()
+
+
+def request(conn, method, path, body=None):
+    payload = None if body is None else json.dumps(body)
+    headers = {"Content-Type": "application/json"} if payload else {}
+    conn.request(method, path, body=payload, headers=headers)
+    resp = conn.getresponse()
+    raw = resp.read()
+    return resp, json.loads(raw) if raw else {}
+
+
+class TestRoutes:
+    def test_healthz(self, served_graph):
+        conn, *_ = served_graph
+        resp, body = request(conn, "GET", "/healthz")
+        assert resp.status == 200 and body == {"ok": True}
+
+    def test_query_matches_direct_miner(self, served_graph):
+        conn, graph, fp, _ = served_graph
+        resp, body = request(
+            conn, "POST", "/query",
+            {"graph": "burst", "motif": "M1", "delta": DELTA},
+        )
+        assert resp.status == 200
+        result = MackeyMiner(graph, M1, DELTA).mine()
+        expected = build_payload(fp, M1, DELTA, result.count,
+                                 result.counters.as_dict())
+        assert payload_bytes(body) == payload_bytes(expected)
+
+    def test_query_by_fingerprint_and_motif_spec(self, served_graph):
+        conn, graph, fp, _ = served_graph
+        resp, body = request(
+            conn, "POST", "/query",
+            {"graph": fp, "motif_spec": "A->B, B->C, C->A", "delta": DELTA},
+        )
+        assert resp.status == 200
+        # Same canonical key as M1: the count agrees.
+        assert body["count"] == MackeyMiner(graph, M1, DELTA).mine().count
+
+    def test_graphs_listing(self, served_graph):
+        conn, graph, fp, _ = served_graph
+        resp, body = request(conn, "GET", "/graphs")
+        assert resp.status == 200
+        assert body["graphs"]["burst"]["fingerprint"] == fp
+        assert body["graphs"]["burst"]["num_edges"] == graph.num_edges
+
+    def test_graph_upload_then_query(self, served_graph):
+        conn, *_ = served_graph
+        edges = [[0, 1, 5], [1, 2, 10], [2, 0, 20]]
+        resp, body = request(
+            conn, "POST", "/graphs", {"name": "tri", "edges": edges}
+        )
+        assert resp.status == 200
+        expected_fp = TemporalGraph(
+            [tuple(e) for e in edges]
+        ).fingerprint()
+        assert body["fingerprint"] == expected_fp
+        resp, body = request(
+            conn, "POST", "/query",
+            {"graph": "tri", "motif": "M1", "delta": 100},
+        )
+        assert resp.status == 200 and body["count"] == 1
+
+    def test_metrics_json_and_text(self, served_graph):
+        conn, *_ = served_graph
+        request(conn, "POST", "/query",
+                {"graph": "burst", "motif": "M1", "delta": DELTA})
+        resp, body = request(conn, "GET", "/metrics")
+        assert resp.status == 200
+        assert body["metrics"]["admitted"] >= 1
+        assert "coalesce_ratio" in body["metrics"]
+        conn.request("GET", "/metrics?format=text")
+        resp = conn.getresponse()
+        text = resp.read().decode()
+        assert resp.status == 200
+        assert "coalesce ratio" in text
+
+
+class TestStreamsRoutes:
+    def test_stream_lifecycle(self, served_graph):
+        conn, graph, _, service = served_graph
+        resp, body = request(
+            conn, "POST", "/streams",
+            {"name": "live", "motif": "M1", "delta": DELTA},
+        )
+        assert resp.status == 200 and body["stream"] == "live"
+        edges = list(zip(graph.src.tolist(), graph.dst.tolist(),
+                         graph.ts.tolist()))
+        resp, body = request(
+            conn, "POST", "/streams/live/edges", {"edges": edges}
+        )
+        assert resp.status == 200
+        assert body["appended"] == graph.num_edges
+        resp, body = request(conn, "GET", "/streams/live")
+        assert resp.status == 200
+        assert body["motif"] == "M1" and body["num_edges"] == graph.num_edges
+        resp, body = request(
+            conn, "POST", "/streams/live/window-query",
+            {"motif": "M2"},
+        )
+        assert resp.status == 200
+        window = service._stream("live").counter.window_snapshot()
+        assert body["graph"] == window.fingerprint()
+
+    def test_unknown_stream_404(self, served_graph):
+        conn, *_ = served_graph
+        resp, body = request(conn, "GET", "/streams/nope")
+        assert resp.status == 404 and "unknown stream" in body["error"]
+
+
+class TestErrorMapping:
+    def test_unknown_route_404(self, served_graph):
+        conn, *_ = served_graph
+        resp, _ = request(conn, "GET", "/nope")
+        assert resp.status == 404
+        resp, _ = request(conn, "POST", "/nope", {"x": 1})
+        assert resp.status == 404
+
+    def test_unknown_graph_404(self, served_graph):
+        conn, *_ = served_graph
+        resp, body = request(
+            conn, "POST", "/query",
+            {"graph": "missing", "motif": "M1", "delta": DELTA},
+        )
+        assert resp.status == 404 and "unknown graph" in body["error"]
+
+    def test_unknown_motif_404(self, served_graph):
+        conn, *_ = served_graph
+        resp, _ = request(
+            conn, "POST", "/query",
+            {"graph": "burst", "motif": "M99", "delta": DELTA},
+        )
+        assert resp.status == 404
+
+    def test_missing_body_400(self, served_graph):
+        conn, *_ = served_graph
+        conn.request("POST", "/query")
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        assert resp.status == 400 and "body" in body["error"]
+
+    def test_invalid_json_400(self, served_graph):
+        conn, *_ = served_graph
+        conn.request("POST", "/query", body="{not json",
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 400
+        assert "invalid JSON" in json.loads(resp.read())["error"]
+
+    def test_missing_field_400(self, served_graph):
+        conn, *_ = served_graph
+        resp, body = request(conn, "POST", "/query", {"graph": "burst"})
+        assert resp.status == 400 and "delta" in body["error"]
+
+    def test_bad_motif_spec_400(self, served_graph):
+        conn, *_ = served_graph
+        resp, body = request(
+            conn, "POST", "/query",
+            {"graph": "burst", "motif_spec": "A=>B", "delta": DELTA},
+        )
+        assert resp.status == 400 and "motif_spec" in body["error"]
+
+    def test_deadline_maps_to_504(self, served_graph):
+        conn, _, _, service = served_graph
+        service.scheduler.pause()  # nothing dispatches: deadline must fire
+        try:
+            resp, body = request(
+                conn, "POST", "/query",
+                {"graph": "burst", "motif": "M1", "delta": DELTA,
+                 "timeout_s": 0.05},
+            )
+            assert resp.status == 504
+            assert "deadline" in body["error"]
+        finally:
+            service.scheduler.resume()
+
+    def test_overload_maps_to_429_with_retry_after(self, served_graph):
+        conn, _, fp, service = served_graph
+        service.scheduler.pause()
+        try:
+            # Fill the (size 4) admission queue with distinct keys.
+            from repro.service.query import MotifQuery
+
+            for delta in range(1, 5):
+                service.scheduler.submit(MotifQuery(fp, M1, delta))
+            resp, body = request(
+                conn, "POST", "/query",
+                {"graph": "burst", "motif": "M1", "delta": 999},
+            )
+            assert resp.status == 429
+            assert body["retry_after_s"] > 0
+            assert int(resp.getheader("Retry-After")) >= 1
+        finally:
+            service.scheduler.resume()
+
+
+class TestServeCLIBuilder:
+    def test_build_serve_server_registers_and_binds(self, tmp_path, capsys):
+        from repro.cli import _build_parser, build_serve_server
+        from repro.graph.loaders import save_snap_text
+
+        g = TemporalGraph([(0, 1, 5), (1, 2, 10), (2, 0, 20)])
+        path = tmp_path / "tri.txt"
+        save_snap_text(g, path)
+        args = _build_parser().parse_args(
+            ["serve", f"tri={path}", "--port", "0"]
+        )
+        service, server = build_serve_server(args)
+        try:
+            assert "registered 'tri'" in capsys.readouterr().out
+            assert service.graphs() == {"tri": g.fingerprint()}
+            assert server.server_address[1] != 0  # a real port was bound
+        finally:
+            server.server_close()
+            service.close()
+
+    def test_bare_path_uses_stem_as_name(self, tmp_path, capsys):
+        from repro.cli import _build_parser, build_serve_server
+        from repro.graph.loaders import save_snap_text
+
+        g = TemporalGraph([(0, 1, 5), (1, 2, 10)])
+        path = tmp_path / "mygraph.txt"
+        save_snap_text(g, path)
+        args = _build_parser().parse_args(["serve", str(path), "--port", "0"])
+        service, server = build_serve_server(args)
+        try:
+            assert "mygraph" in service.graphs()
+        finally:
+            server.server_close()
+            service.close()

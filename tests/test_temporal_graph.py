@@ -129,3 +129,70 @@ class TestProjectionsAndSlices:
 
     def test_time_span(self, tiny_graph):
         assert tiny_graph.time_span == 35
+
+
+class TestFingerprint:
+    """`fingerprint()` is the identity the serving layer caches under:
+    equal fingerprints must imply byte-identical mining results."""
+
+    def test_identical_content_same_fingerprint(self):
+        edges = [(0, 1, 10), (1, 2, 20), (2, 0, 30)]
+        assert TemporalGraph(edges).fingerprint() == \
+            TemporalGraph(list(edges)).fingerprint()
+
+    def test_hex_string_stable_across_calls(self, tiny_graph):
+        fp = tiny_graph.fingerprint()
+        assert isinstance(fp, str) and len(fp) == 32
+        assert int(fp, 16) >= 0  # valid hex
+        assert tiny_graph.fingerprint() == fp  # cached, stable
+
+    def test_permutation_invariance_unique_timestamps(self):
+        edges = [(0, 1, 10), (1, 2, 20), (2, 0, 30), (0, 2, 40)]
+        shuffled = [edges[2], edges[0], edges[3], edges[1]]
+        assert TemporalGraph(edges).fingerprint() == \
+            TemporalGraph(shuffled).fingerprint()
+
+    def test_duplicate_identical_edges_permutation_invariant(self):
+        # Equal (src, dst, t) triples are indistinguishable, so their
+        # relative input order cannot affect the fingerprint.
+        a = TemporalGraph([(0, 1, 5), (0, 1, 5), (1, 2, 6)])
+        b = TemporalGraph([(0, 1, 5), (0, 1, 5), (1, 2, 6)])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_duplicate_timestamps_uniquify_deterministically(self):
+        # Same input order => same canonical graph => same fingerprint,
+        # even though raw timestamps collide.
+        edges = [(0, 1, 5), (1, 2, 5), (2, 0, 5)]
+        assert TemporalGraph(edges).fingerprint() == \
+            TemporalGraph(edges).fingerprint()
+
+    def test_tie_reorder_that_changes_semantics_changes_fingerprint(self):
+        # Reordering *distinct* equal-timestamp edges changes the
+        # canonical graph (stable tie-break), and motif counts can
+        # genuinely differ -- the fingerprint must distinguish them or
+        # a result cache would serve wrong answers.
+        a = TemporalGraph([(0, 1, 5), (1, 2, 5)])
+        b = TemporalGraph([(1, 2, 5), (0, 1, 5)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_content_sensitivity(self, tiny_graph):
+        fp = tiny_graph.fingerprint()
+        edges = [(e.src, e.dst, e.t) for e in tiny_graph.edges()]
+        bumped = edges[:-1] + [(edges[-1][0], edges[-1][1], edges[-1][2] + 1)]
+        assert TemporalGraph(bumped).fingerprint() != fp
+
+    def test_num_nodes_is_part_of_identity(self):
+        edges = [(0, 1, 10)]
+        assert TemporalGraph(edges).fingerprint() != \
+            TemporalGraph(edges, num_nodes=5).fingerprint()
+
+    def test_from_arrays_round_trip_same_fingerprint(self, tiny_graph):
+        adopted = TemporalGraph.from_arrays(
+            num_nodes=tiny_graph.num_nodes, **tiny_graph.as_arrays()
+        )
+        assert adopted.fingerprint() == tiny_graph.fingerprint()
+
+    def test_empty_graph_fingerprint(self):
+        assert TemporalGraph([]).fingerprint() == TemporalGraph([]).fingerprint()
+        assert TemporalGraph([]).fingerprint() != \
+            TemporalGraph([(0, 1, 1)]).fingerprint()
