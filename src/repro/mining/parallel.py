@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -166,6 +167,57 @@ class _RangeMiner(MackeyMiner):
 # -- parent side ---------------------------------------------------------------
 
 
+class GraphShipment:
+    """One-time shipment of a graph's backing arrays to worker processes.
+
+    Prefers a single ``multiprocessing.shared_memory`` segment (workers
+    adopt zero-copy views); falls back to pickling the contiguous
+    arrays once per worker.  Exposes the ``(initializer, initargs)``
+    pair any process-based pool can run in its workers; ``close``
+    unlinks the segment.  Shared by :class:`MiningPool` and
+    :class:`~repro.resilience.supervisor.SupervisedMiningPool`.
+    """
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        self._seg = None
+        arrays = graph.as_arrays()
+        if _shm is not None:
+            try:
+                total = sum(len(a) for a in arrays.values())
+                seg = _shm.SharedMemory(create=True, size=max(1, total * 8))
+                layout: Dict[str, Tuple[int, int]] = {}
+                start = 0
+                for name, a in arrays.items():
+                    length = len(a)
+                    view = np.ndarray(
+                        (length,), dtype=np.int64, buffer=seg.buf, offset=start * 8
+                    )
+                    view[:] = np.asarray(a, dtype=np.int64)
+                    layout[name] = (start, length)
+                    start += length
+                self._seg = seg
+                self.initializer = _init_worker_shm
+                self.initargs = (seg.name, layout, graph.num_nodes)
+                return
+            except OSError:  # pragma: no cover - e.g. /dev/shm unavailable
+                self._seg = None
+        contiguous = {
+            name: np.ascontiguousarray(a, dtype=np.int64)
+            for name, a in arrays.items()
+        }
+        self.initializer = _init_worker_arrays
+        self.initargs = (contiguous, graph.num_nodes)
+
+    def close(self) -> None:
+        if self._seg is not None:
+            self._seg.close()
+            try:
+                self._seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._seg = None
+
+
 class MiningCancelled(RuntimeError):
     """Raised by :meth:`MiningPool.count_many` when its ``cancel_check``
     fires.  Cancellation is best-effort at chunk granularity: chunks
@@ -221,40 +273,14 @@ class MiningPool:
             raise ValueError("MiningPool needs at least one worker")
         self.graph = graph
         self.num_workers = int(num_workers)
-        self._seg = None
         self._closed = False
-        initializer, initargs = self._make_initializer(graph)
+        self._broken = False
+        self._shipment = GraphShipment(graph)
         self._pool = ProcessPoolExecutor(
             max_workers=self.num_workers,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=self._shipment.initializer,
+            initargs=self._shipment.initargs,
         )
-
-    def _make_initializer(self, graph: TemporalGraph):
-        arrays = graph.as_arrays()
-        if _shm is not None:
-            try:
-                total = sum(len(a) for a in arrays.values())
-                seg = _shm.SharedMemory(create=True, size=max(1, total * 8))
-                layout: Dict[str, Tuple[int, int]] = {}
-                start = 0
-                for name, a in arrays.items():
-                    length = len(a)
-                    view = np.ndarray(
-                        (length,), dtype=np.int64, buffer=seg.buf, offset=start * 8
-                    )
-                    view[:] = np.asarray(a, dtype=np.int64)
-                    layout[name] = (start, length)
-                    start += length
-                self._seg = seg
-                return _init_worker_shm, (seg.name, layout, graph.num_nodes)
-            except OSError:  # pragma: no cover - e.g. /dev/shm unavailable
-                self._seg = None
-        contiguous = {
-            name: np.ascontiguousarray(a, dtype=np.int64)
-            for name, a in arrays.items()
-        }
-        return _init_worker_arrays, (contiguous, graph.num_nodes)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -262,18 +288,19 @@ class MiningPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def broken(self) -> bool:
+        """True once a worker death has poisoned the executor: every
+        later submit raises ``BrokenProcessPool``, so holders (e.g. the
+        service's per-graph pool LRU) must evict and rebuild."""
+        return self._broken or getattr(self._pool, "_broken", False)
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         self._pool.shutdown(wait=True)
-        if self._seg is not None:
-            self._seg.close()
-            try:
-                self._seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-            self._seg = None
+        self._shipment.close()
 
     def __enter__(self) -> "MiningPool":
         return self
@@ -340,7 +367,11 @@ class MiningPool:
                 idx, edges, d, lo, hi = next(task_iter)
             except StopIteration:
                 return
-            fut = self._pool.submit(_mine_chunk, (edges, d, lo, hi))
+            try:
+                fut = self._pool.submit(_mine_chunk, (edges, d, lo, hi))
+            except BrokenProcessPool:
+                self._broken = True
+                raise
             pending[fut] = idx
 
         def drain_and_cancel() -> None:
@@ -360,7 +391,14 @@ class MiningPool:
             done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
             for fut in done:
                 idx = pending.pop(fut)
-                count, counter_dict = fut.result()
+                try:
+                    count, counter_dict = fut.result()
+                except BrokenProcessPool:
+                    # A worker died; the executor is permanently
+                    # poisoned.  Mark it so holders can evict/rebuild
+                    # instead of failing every later call.
+                    self._broken = True
+                    raise
                 totals[idx] += count
                 merged[idx].merge(SearchCounters(**counter_dict))
                 submit_next()

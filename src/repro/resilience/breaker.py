@@ -1,0 +1,109 @@
+"""A thread-safe circuit breaker for mining backends.
+
+Classic three-state machine guarding one backend (the service keeps one
+per graph fingerprint):
+
+- **closed** — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them in a row trip the breaker **open**.
+- **open** — the backend is not attempted at all (:meth:`allow` returns
+  False; callers fall back to degraded serial mining).  After
+  ``cooldown_s`` the next :meth:`allow` admits exactly one probe and the
+  breaker goes **half-open**.
+- **half-open** — one in-flight probe; success closes the breaker,
+  failure re-opens it for another cooldown.
+
+The clock is injectable so transition tests need no sleeping, and an
+optional ``listener(event, breaker)`` observes every transition
+(``event`` in ``{"open", "half_open", "close"}``) — the serving layer
+counts these into its metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown and half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        listener: Optional[Callable[[str, "CircuitBreaker"], None]] = None,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.name = name
+        self._clock = clock
+        self._listener = listener
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, new_state: str, event: str) -> None:
+        self._state = new_state
+        if self._listener is not None:
+            self._listener(event, self)
+
+    # -- the three verbs -------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded backend right now?"""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._transition(HALF_OPEN, "half_open")
+                    self._probe_inflight = True
+                    return True
+                return False
+            # half-open: exactly one probe at a time.
+            if not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED, "close")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_inflight = False
+            if self._state == HALF_OPEN:
+                self._opened_at = self._clock()
+                self._transition(OPEN, "open")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN, "open")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CircuitBreaker(name={self.name!r}, state={self.state!r})"

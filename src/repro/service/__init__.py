@@ -31,7 +31,12 @@ Module map (request lifecycle: admit → coalesce → batch → mine → cache):
 from repro.service.cache import CachedResult, ResultCache
 from repro.service.executor import InlineExecutor, PoolExecutor
 from repro.service.http import ServiceHTTPServer, make_server
-from repro.service.metrics import LatencyReservoir, ServiceMetrics, percentile
+from repro.service.metrics import (
+    LatencyReservoir,
+    ResilienceCounters,
+    ServiceMetrics,
+    percentile,
+)
 from repro.service.query import (
     MotifQuery,
     QueryRejected,
@@ -57,6 +62,7 @@ __all__ = [
     "QueryRejected",
     "QueryResult",
     "QueryScheduler",
+    "ResilienceCounters",
     "ResultCache",
     "ServiceClosed",
     "ServiceHTTPServer",

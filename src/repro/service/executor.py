@@ -8,14 +8,32 @@ pairs.  Two implementations:
   the calling lane thread.  No processes, no setup cost; the right
   backend for small graphs, tests and single-machine deployments where
   query concurrency (lanes) already saturates the cores.
-- :class:`PoolExecutor` — per-graph :class:`MiningPool` reuse.  The
-  first batch against a graph ships it (zero-copy shared memory) into a
-  resident worker pool; subsequent batches only send tiny task tuples.
-  Pools are closed when the registry evicts their graph.
+- :class:`PoolExecutor` — per-graph resident worker pool reuse
+  (:class:`~repro.resilience.supervisor.SupervisedMiningPool` by
+  default).  The first batch against a graph ships it (zero-copy shared
+  memory) into a resident pool; subsequent batches only send tiny task
+  tuples.  Pools are closed when the registry evicts their graph.
 
-Both honor ``cancel_check`` — the scheduler's deadline hook — at their
-natural granularity (between motifs inline; between root-range chunks in
-the pool) by raising :class:`MiningCancelled`.
+Fault tolerance in :class:`PoolExecutor` (degrade, never corrupt):
+
+- **Checkout health.**  A cached pool that is closed or broken (e.g. a
+  ``MiningPool`` poisoned by ``BrokenProcessPool``, or a supervised
+  pool that exhausted its respawn budget) is evicted at checkout and a
+  fresh pool is built — one broken pool can no longer fail every later
+  query for its graph.
+- **Per-graph circuit breaker.**  ``breaker_failures`` consecutive
+  backend failures open the graph's breaker; while open, batches for
+  that graph are mined serially by an in-process
+  :class:`InlineExecutor` (correct, just slower).  After
+  ``breaker_cooldown_s`` one probe batch is allowed through the pool —
+  success closes the breaker, failure re-opens it.
+- **Same-batch fallback.**  Even before the breaker opens, a batch
+  whose pool attempt fails is re-mined inline within the same call, so
+  a backend failure is a latency event for its waiters, never an error.
+
+Both executors honor ``cancel_check`` — the scheduler's deadline hook —
+at their natural granularity (between motifs inline; between root-range
+chunks in the pool) by raising :class:`MiningCancelled`.
 """
 
 from __future__ import annotations
@@ -27,6 +45,10 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.mackey import MackeyMiner
 from repro.mining.parallel import MiningCancelled, MiningPool
 from repro.motifs.motif import Motif
+from repro.resilience.breaker import CLOSED, CircuitBreaker
+from repro.resilience.faults import FaultPlan, fault_point
+from repro.resilience.supervisor import SupervisedMiningPool
+from repro.service.metrics import ResilienceCounters
 
 #: One batch item's result: (count, counters-as-dict).
 BatchItem = Tuple[int, Dict[str, int]]
@@ -58,32 +80,86 @@ class InlineExecutor:
 
 
 class PoolExecutor:
-    """Per-graph :class:`MiningPool` reuse with chunk-level cancellation.
+    """Per-graph resident pool reuse with breaker-guarded degradation.
 
     ``num_workers`` processes per pool; at most ``max_pools`` pools stay
     resident (they hold worker processes and a shared-memory graph
     copy), evicted least-recently-used beyond that.
+
+    ``supervised=True`` (default) builds
+    :class:`SupervisedMiningPool` workers that survive individual
+    deaths; ``supervised=False`` keeps the plain
+    :class:`~repro.mining.parallel.MiningPool`.  ``fault_plan`` is
+    shipped into supervised workers (chaos testing).  ``counters``
+    shares a :class:`ResilienceCounters` with the scheduler so service
+    metrics see executor-side events.
     """
 
-    def __init__(self, num_workers: int, max_pools: int = 2) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        max_pools: int = 2,
+        *,
+        supervised: bool = True,
+        breaker_failures: int = 3,
+        breaker_cooldown_s: float = 5.0,
+        chunk_timeout_s: Optional[float] = 30.0,
+        respawn_budget: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        counters: Optional[ResilienceCounters] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("PoolExecutor needs at least one worker")
         if max_pools < 1:
             raise ValueError("max_pools must be positive")
         self.num_workers = int(num_workers)
         self.max_pools = int(max_pools)
+        self.supervised = bool(supervised)
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self.chunk_timeout_s = chunk_timeout_s
+        self.respawn_budget = respawn_budget
+        self.fault_plan = fault_plan
+        self.counters = counters if counters is not None else ResilienceCounters()
+        self._fallback = InlineExecutor()
         self._lock = threading.Lock()
         #: fingerprint -> pool, most recently used last.
-        self._pools: Dict[str, MiningPool] = {}
+        self._pools: Dict[str, object] = {}
         self._order: List[str] = []
+        self._breakers: Dict[str, CircuitBreaker] = {}
 
-    def _pool_for(self, graph: TemporalGraph) -> MiningPool:
+    # -- pool residency --------------------------------------------------------
+
+    def _build_pool(self, graph: TemporalGraph):
+        if self.supervised:
+            return SupervisedMiningPool(
+                graph,
+                self.num_workers,
+                chunk_timeout_s=self.chunk_timeout_s,
+                respawn_budget=self.respawn_budget,
+                fault_plan=self.fault_plan,
+                on_event=self.counters.inc,
+            )
+        return MiningPool(graph, self.num_workers)
+
+    @staticmethod
+    def _unhealthy(pool) -> bool:
+        return pool.closed or getattr(pool, "broken", False)
+
+    def _pool_for(self, graph: TemporalGraph):
         fp = graph.fingerprint()
-        doomed: List[MiningPool] = []
+        doomed: List = []
         with self._lock:
             pool = self._pools.get(fp)
+            if pool is not None and self._unhealthy(pool):
+                # A broken pool must never be handed out again: evict
+                # and rebuild instead of failing every later query.
+                doomed.append(self._pools.pop(fp))
+                self._order.remove(fp)
+                self.counters.inc("pools_rebuilt")
+                pool = None
             if pool is None:
-                pool = MiningPool(graph, self.num_workers)
+                pool = self._build_pool(graph)
                 self._pools[fp] = pool
                 self._order.append(fp)
                 while len(self._order) > self.max_pools:
@@ -96,6 +172,59 @@ class PoolExecutor:
             p.close()
         return pool
 
+    def _evict_pool(self, fingerprint: str) -> None:
+        with self._lock:
+            pool = self._pools.pop(fingerprint, None)
+            if fingerprint in self._order:
+                self._order.remove(fingerprint)
+        if pool is not None:
+            pool.close()
+
+    # -- breakers --------------------------------------------------------------
+
+    def _on_breaker_event(self, event: str, breaker: CircuitBreaker) -> None:
+        self.counters.inc(f"breaker_{event}s" if event != "half_open"
+                          else "breaker_half_opens")
+
+    def _breaker_for(self, fingerprint: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(fingerprint)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.breaker_failures,
+                    cooldown_s=self.breaker_cooldown_s,
+                    listener=self._on_breaker_event,
+                    name=fingerprint,
+                )
+                self._breakers[fingerprint] = breaker
+            return breaker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """``fingerprint -> state`` for every breaker ever created."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {fp: b.state for fp, b in breakers.items()}
+
+    def worker_liveness(self) -> Dict[str, Dict[str, int]]:
+        """``fingerprint -> {live, target}`` for resident pools."""
+        with self._lock:
+            pools = dict(self._pools)
+        out: Dict[str, Dict[str, int]] = {}
+        for fp, pool in pools.items():
+            live = getattr(pool, "live_workers", None)
+            if live is None:
+                # Plain MiningPool: infer from brokenness.
+                live = 0 if self._unhealthy(pool) else self.num_workers
+            out[fp] = {"live": int(live), "target": self.num_workers}
+        return out
+
+    @property
+    def degraded(self) -> bool:
+        """True while any graph's breaker is non-closed."""
+        return any(s != CLOSED for s in self.breaker_states().values())
+
+    # -- mining ----------------------------------------------------------------
+
     def count_batch(
         self,
         graph: TemporalGraph,
@@ -103,18 +232,36 @@ class PoolExecutor:
         delta: int,
         cancel_check: Optional[Callable[[], bool]] = None,
     ) -> List[BatchItem]:
-        pool = self._pool_for(graph)
-        results = pool.count_many(list(motifs), delta, cancel_check=cancel_check)
+        fp = graph.fingerprint()
+        breaker = self._breaker_for(fp)
+        if not breaker.allow():
+            # Breaker open: shed throughput (serial inline mining),
+            # never correctness.
+            self.counters.inc("degraded_queries", len(motifs))
+            return self._fallback.count_batch(graph, motifs, delta, cancel_check)
+        try:
+            fault_point("executor.batch", graph=fp)
+            pool = self._pool_for(graph)
+            results = pool.count_many(
+                list(motifs), delta, cancel_check=cancel_check
+            )
+        except MiningCancelled:
+            # A deadline is not a backend failure; don't punish the pool.
+            raise
+        except Exception:  # noqa: BLE001 - any backend failure degrades
+            breaker.record_failure()
+            self.counters.inc("backend_failures")
+            self._evict_pool(fp)
+            self.counters.inc("degraded_queries", len(motifs))
+            return self._fallback.count_batch(graph, motifs, delta, cancel_check)
+        breaker.record_success()
         return [(r.count, r.counters.as_dict()) for r in results]
+
+    # -- lifecycle -------------------------------------------------------------
 
     def release_graph(self, fingerprint: str) -> None:
         """Close the pool whose graph was evicted from the registry."""
-        with self._lock:
-            pool = self._pools.pop(fingerprint, None)
-            if fingerprint in self._order:
-                self._order.remove(fingerprint)
-        if pool is not None:
-            pool.close()
+        self._evict_pool(fingerprint)
 
     def close(self) -> None:
         with self._lock:

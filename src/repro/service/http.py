@@ -4,7 +4,10 @@ A deliberately dependency-free front door (``http.server`` +
 ``ThreadingHTTPServer``; one thread per connection feeding the shared
 scheduler).  Routes:
 
-- ``GET  /healthz`` — liveness probe.
+- ``GET  /healthz`` — health probe: queue depth, per-graph breaker
+  states, worker liveness and the degraded flag.  200 while the
+  service can answer queries (even degraded), 503 once it cannot
+  (closed, or the dispatcher thread is gone).
 - ``GET  /metrics`` — JSON metrics snapshot; ``?format=text`` renders
   the operator table instead.
 - ``GET  /graphs`` — registered aliases with node/edge counts.
@@ -121,7 +124,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             path, _, query_string = self.path.partition("?")
             if path == "/healthz":
-                self._send_json(200, {"ok": True})
+                health = self.service.health()
+                self._send_json(200 if health["ok"] else 503, health)
             elif path == "/metrics":
                 if "format=text" in query_string:
                     self._send_text(200, self.service.render_metrics())

@@ -36,6 +36,52 @@ def percentile(values: Sequence[float], p: float) -> float:
     return ordered[int(rank) - 1]
 
 
+class ResilienceCounters:
+    """Shared, thread-safe monotonic counters for the resilience layer.
+
+    One instance is threaded through the executor (worker deaths, chunk
+    retries, respawns, breaker transitions, degraded-mode queries) and
+    the scheduler (batch retries, dispatcher crashes), so the metrics
+    snapshot shows one coherent failure-handling picture.  Unknown
+    names are allowed — the snapshot simply carries whatever was
+    counted.
+    """
+
+    KNOWN = (
+        "worker_deaths",
+        "wedged_kills",
+        "chunk_retries",
+        "respawns",
+        "chunks_completed",
+        "backend_failures",
+        "degraded_queries",
+        "batch_retries",
+        "dispatcher_crashes",
+        "pools_rebuilt",
+        "breaker_opens",
+        "breaker_half_opens",
+        "breaker_closes",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + int(n)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            out = {name: 0 for name in self.KNOWN}
+            out.update(self._counts)
+            return out
+
+
 class LatencyReservoir:
     """Bounded sliding reservoir of recent request latencies (seconds)."""
 
@@ -87,6 +133,24 @@ class ServiceMetrics:
     latency_p50_s: float
     latency_p99_s: float
     latency_samples: int
+    # -- resilience (defaults keep older constructors working) -----------------
+    worker_deaths: int = 0
+    wedged_kills: int = 0
+    chunk_retries: int = 0
+    worker_respawns: int = 0
+    backend_failures: int = 0
+    degraded_queries: int = 0
+    batch_retries: int = 0
+    dispatcher_crashes: int = 0
+    pools_rebuilt: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    #: Gauge: breakers currently not closed (open or half-open).
+    breakers_open: int = 0
+    #: True while any breaker is non-closed: queries on that graph are
+    #: served by degraded serial mining rather than the worker pool.
+    degraded: bool = False
 
     @property
     def coalesce_ratio(self) -> float:
@@ -129,5 +193,16 @@ class ServiceMetrics:
             ["latency p50 (ms)", f"{self.latency_p50_s * 1e3:.2f}"],
             ["latency p99 (ms)", f"{self.latency_p99_s * 1e3:.2f}"],
             ["latency samples", self.latency_samples],
+            ["worker deaths", self.worker_deaths],
+            ["wedged kills", self.wedged_kills],
+            ["chunk retries", self.chunk_retries],
+            ["worker respawns", self.worker_respawns],
+            ["backend failures", self.backend_failures],
+            ["degraded queries", self.degraded_queries],
+            ["batch retries", self.batch_retries],
+            ["dispatcher crashes", self.dispatcher_crashes],
+            ["breaker opens", self.breaker_opens],
+            ["breakers open (now)", self.breakers_open],
+            ["degraded", str(self.degraded).lower()],
         ]
         return format_table(["metric", "value"], rows)

@@ -45,8 +45,13 @@ from typing import Deque, Dict, List, Optional
 
 from repro.mining.parallel import MiningCancelled
 from repro.motifs.motif import Motif
+from repro.resilience.breaker import CLOSED
 from repro.service.cache import ResultCache
-from repro.service.metrics import LatencyReservoir, ServiceMetrics
+from repro.service.metrics import (
+    LatencyReservoir,
+    ResilienceCounters,
+    ServiceMetrics,
+)
 from repro.service.query import (
     MotifQuery,
     QueryKey,
@@ -145,6 +150,7 @@ class QueryScheduler:
         lanes: int = 2,
         max_batch: int = 16,
         latency_capacity: int = 4096,
+        counters: Optional[ResilienceCounters] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
@@ -173,6 +179,10 @@ class QueryScheduler:
         self.errors = 0
         self.cancelled = 0
         self.latency = LatencyReservoir(latency_capacity)
+        #: Shared with the executor so one snapshot shows both sides.
+        self.counters = counters if counters is not None else (
+            getattr(executor, "counters", None) or ResilienceCounters()
+        )
 
         self._lane_pool = ThreadPoolExecutor(
             max_workers=self._lanes_count, thread_name_prefix="mint-lane"
@@ -241,28 +251,42 @@ class QueryScheduler:
 
     def _dispatch_loop(self) -> None:
         while True:
-            with self._cond:
-                while not self._closed and (self._paused or not self._queue):
-                    self._cond.wait()
-                if self._closed:
-                    leftovers = list(self._queue)
-                    self._queue.clear()
-                    break
-                group = [self._queue.popleft()]
-                fp, delta = group[0].fingerprint, group[0].delta
-                rest: Deque[_Entry] = deque()
-                while self._queue and len(group) < self.max_batch:
-                    e = self._queue.popleft()
-                    if e.fingerprint == fp and e.delta == delta:
-                        group.append(e)
-                    else:
-                        rest.append(e)
-                rest.extend(self._queue)
-                self._queue = rest
-                for e in group:
-                    e.state = "running"
-                self._inflight += len(group)
-            self._lane_pool.submit(self._execute_group, group)
+            group: List[_Entry] = []
+            try:
+                with self._cond:
+                    while not self._closed and (self._paused or not self._queue):
+                        self._cond.wait()
+                    if self._closed:
+                        leftovers = list(self._queue)
+                        self._queue.clear()
+                        break
+                    group = [self._queue.popleft()]
+                    fp, delta = group[0].fingerprint, group[0].delta
+                    rest: Deque[_Entry] = deque()
+                    while self._queue and len(group) < self.max_batch:
+                        e = self._queue.popleft()
+                        if e.fingerprint == fp and e.delta == delta:
+                            group.append(e)
+                        else:
+                            rest.append(e)
+                    rest.extend(self._queue)
+                    self._queue = rest
+                    for e in group:
+                        e.state = "running"
+                    self._inflight += len(group)
+                self._lane_pool.submit(self._execute_group, group)
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                # An unexpected dispatcher exception used to kill this
+                # thread silently, leaving every later query queued
+                # forever.  Instead: error the current group's waiters,
+                # count the crash, and keep dispatching.
+                self.counters.inc("dispatcher_crashes")
+                message = f"dispatcher error: {type(exc).__name__}: {exc}"
+                for entry in group:
+                    try:
+                        self._deliver(entry, "error", error=message)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
         for entry in leftovers:
             self._deliver(entry, "closed", error="service closed before execution")
 
@@ -292,21 +316,31 @@ class QueryScheduler:
             t = time.monotonic()
             return all(e.all_expired(t) for e in live)
 
-        try:
-            results = self.executor.count_batch(
-                graph, [e.motif for e in live], delta, cancel_check
-            )
-        except MiningCancelled:
-            for entry in live:
-                self._deliver(
-                    entry, "deadline_exceeded", error="cancelled while running"
+        attempts = 0
+        while True:
+            try:
+                results = self.executor.count_batch(
+                    graph, [e.motif for e in live], delta, cancel_check
                 )
-            return
-        except Exception as exc:  # noqa: BLE001 - must never wedge the lanes
-            message = f"{type(exc).__name__}: {exc}"
-            for entry in live:
-                self._deliver(entry, "error", error=message)
-            return
+                break
+            except MiningCancelled:
+                for entry in live:
+                    self._deliver(
+                        entry, "deadline_exceeded", error="cancelled while running"
+                    )
+                return
+            except Exception as exc:  # noqa: BLE001 - must never wedge the lanes
+                # One retry before erroring the waiters: a backend
+                # failure is usually a dead pool that the executor has
+                # already evicted, so the second attempt runs on a
+                # fresh pool (or the degraded inline path).
+                attempts += 1
+                if attempts > 1:
+                    message = f"{type(exc).__name__}: {exc}"
+                    for entry in live:
+                        self._deliver(entry, "error", error=message)
+                    return
+                self.counters.inc("batch_retries")
         for entry, (count, counters) in zip(live, results):
             self.cache.put(entry.key, count, counters)
             self._deliver(entry, "ok", count=count, counters=counters)
@@ -365,6 +399,10 @@ class QueryScheduler:
         with self._cond:
             return len(self._queue)
 
+    @property
+    def dispatcher_alive(self) -> bool:
+        return self._dispatcher.is_alive()
+
     # -- observability ---------------------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
@@ -379,6 +417,9 @@ class QueryScheduler:
             cancelled = self.cancelled
         cache_stats = self.cache.stats()
         quantiles = self.latency.quantiles()
+        res = self.counters.snapshot()
+        breaker_states = getattr(self.executor, "breaker_states", dict)()
+        breakers_open = sum(1 for s in breaker_states.values() if s != CLOSED)
         return ServiceMetrics(
             queue_depth=queue_depth,
             inflight=inflight,
@@ -397,6 +438,20 @@ class QueryScheduler:
             latency_p50_s=quantiles["p50_s"],
             latency_p99_s=quantiles["p99_s"],
             latency_samples=self.latency.recorded_total,
+            worker_deaths=res["worker_deaths"],
+            wedged_kills=res["wedged_kills"],
+            chunk_retries=res["chunk_retries"],
+            worker_respawns=res["respawns"],
+            backend_failures=res["backend_failures"],
+            degraded_queries=res["degraded_queries"],
+            batch_retries=res["batch_retries"],
+            dispatcher_crashes=res["dispatcher_crashes"],
+            pools_rebuilt=res["pools_rebuilt"],
+            breaker_opens=res["breaker_opens"],
+            breaker_half_opens=res["breaker_half_opens"],
+            breaker_closes=res["breaker_closes"],
+            breakers_open=breakers_open,
+            degraded=breakers_open > 0,
         )
 
     # -- lifecycle -------------------------------------------------------------

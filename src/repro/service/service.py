@@ -32,7 +32,7 @@ from repro.motifs.catalog import motif_by_name
 from repro.motifs.motif import Motif
 from repro.service.cache import ResultCache
 from repro.service.executor import InlineExecutor, PoolExecutor
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ResilienceCounters, ServiceMetrics
 from repro.service.query import MotifQuery, QueryResult, UnknownGraph
 from repro.service.registry import GraphRegistry
 from repro.service.scheduler import PendingQuery, QueryScheduler
@@ -65,11 +65,18 @@ class MotifService:
         max_batch: int = 16,
         cache_bytes: int = 64 * 1024 * 1024,
         max_idle_graphs: int = 4,
+        executor=None,
     ) -> None:
         self.registry = GraphRegistry(max_idle=max_idle_graphs)
         self.cache = ResultCache(max_bytes=cache_bytes)
-        if num_workers > 0:
-            self.executor = PoolExecutor(num_workers)
+        self.resilience = ResilienceCounters()
+        if executor is not None:
+            # Caller-supplied backend (custom breaker/fault settings);
+            # adopt its counters so metrics stay coherent.
+            self.executor = executor
+            self.resilience = getattr(executor, "counters", self.resilience)
+        elif num_workers > 0:
+            self.executor = PoolExecutor(num_workers, counters=self.resilience)
         else:
             self.executor = InlineExecutor()
         self.scheduler = QueryScheduler(
@@ -79,6 +86,7 @@ class MotifService:
             max_queue=max_queue,
             lanes=lanes,
             max_batch=max_batch,
+            counters=self.resilience,
         )
         self.registry.add_evict_listener(self._on_graph_evicted)
         self._streams: Dict[str, _LiveStream] = {}
@@ -235,6 +243,33 @@ class MotifService:
 
     def render_metrics(self) -> str:
         return self.metrics().render()
+
+    def health(self) -> Dict:
+        """The ``/healthz`` body: liveness, degradation, and why.
+
+        ``ok`` is the serving-capability bit (maps to HTTP 200/503):
+        False only when the service cannot answer queries at all — it
+        is closed, or the dispatcher thread is gone.  ``degraded`` is
+        softer: the service still answers correctly, but some graph's
+        breaker is open (serial fallback mining) or a resident pool is
+        running below its target worker count.
+        """
+        breakers = getattr(self.executor, "breaker_states", dict)()
+        workers = getattr(self.executor, "worker_liveness", dict)()
+        dispatcher_alive = self.scheduler.dispatcher_alive
+        below_target = any(w["live"] < w["target"] for w in workers.values())
+        degraded = (
+            any(state != "closed" for state in breakers.values()) or below_target
+        )
+        return {
+            "ok": bool(dispatcher_alive and not self._closed),
+            "degraded": bool(degraded),
+            "queue_depth": self.scheduler.queue_depth,
+            "dispatcher_alive": bool(dispatcher_alive),
+            "breakers": dict(breakers),
+            "workers": {fp: dict(w) for fp, w in workers.items()},
+            "dispatcher_crashes": self.resilience.get("dispatcher_crashes"),
+        }
 
     def close(self) -> None:
         if self._closed:

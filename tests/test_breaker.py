@@ -1,0 +1,91 @@
+"""Circuit-breaker state machine tests (injected clock, no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+def make_breaker(clock, threshold=3, cooldown=5.0, listener=None):
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_s=cooldown,
+        clock=clock, listener=listener, name="test",
+    )
+
+
+class TestTransitions:
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            make_breaker(clock, threshold=0)
+        with pytest.raises(ValueError):
+            make_breaker(clock, cooldown=0.0)
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        b = make_breaker(clock, threshold=3)
+        for _ in range(2):
+            b.record_failure()
+            assert b.state == CLOSED and b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        b = make_breaker(clock, threshold=2)
+        b.record_failure()
+        b.record_success()  # streak broken
+        b.record_failure()
+        assert b.state == CLOSED  # 1 consecutive, not 2
+
+    def test_open_half_open_close_cycle(self, clock):
+        events = []
+        b = make_breaker(clock, threshold=1, cooldown=5.0,
+                         listener=lambda e, _b: events.append(e))
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(4.9)
+        assert not b.allow()  # still cooling down
+        clock.advance(0.2)
+        assert b.allow()  # the probe
+        assert b.state == HALF_OPEN
+        b.record_success()
+        assert b.state == CLOSED
+        assert events == ["open", "half_open", "close"]
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        b = make_breaker(clock, threshold=1, cooldown=1.0)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()
+        assert not b.allow()  # second caller is held back
+        b.record_success()
+        assert b.allow()  # closed again: everyone through
+
+    def test_half_open_failure_reopens_for_another_cooldown(self, clock):
+        b = make_breaker(clock, threshold=1, cooldown=2.0)
+        b.record_failure()
+        clock.advance(2.0)
+        assert b.allow()  # probe
+        b.record_failure()  # probe failed
+        assert b.state == OPEN
+        assert not b.allow()  # cooldown restarted from the probe failure
+        clock.advance(2.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED

@@ -1,0 +1,123 @@
+"""Unit tests for the deterministic fault-injection primitive.
+
+The chaos suite's value rests on :class:`FaultPlan` being exactly
+reproducible: the same plan fires the same fault at the same call on
+every run, counters are process-local (pickling strips them), and an
+uninstalled plan costs nothing.  These tests pin that contract without
+spawning any processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec, InjectedFault, active_plan
+from repro.resilience.faults import fault_point
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("s", "explode")
+        with pytest.raises(ValueError):
+            FaultSpec("s", "kill", at_call=0)
+        with pytest.raises(ValueError):
+            FaultSpec("s", "delay", delay_s=-1.0)
+
+    def test_worker_scoping(self):
+        spec = FaultSpec("s", "raise", at_call=2, worker=7)
+        assert not spec.matches(2, worker=3)
+        assert not spec.matches(1, worker=7)
+        assert spec.matches(2, worker=7)
+        wildcard = FaultSpec("s", "raise", at_call=2)
+        assert wildcard.matches(2, worker=None)
+        assert wildcard.matches(2, worker=99)
+
+
+class TestFaultPlan:
+    def test_no_plan_is_a_noop(self):
+        assert active_plan() is None
+        fault_point("anything", worker=1)  # must not raise
+
+    def test_raise_fires_on_exact_call(self):
+        plan = FaultPlan.raise_at("site", [3], message="boom")
+        with plan.installed():
+            fault_point("site")
+            fault_point("site")
+            with pytest.raises(InjectedFault, match="boom"):
+                fault_point("site")
+            # Call 4 and beyond are clean again.
+            fault_point("site")
+        assert len(plan.fired) == 1
+        assert active_plan() is None
+
+    def test_counters_are_per_site(self):
+        plan = FaultPlan.raise_at("b", [2])
+        with plan.installed():
+            fault_point("a")
+            fault_point("a")
+            fault_point("b")  # b's first call, not its second
+            with pytest.raises(InjectedFault):
+                fault_point("b")
+
+    def test_deterministic_across_installs(self):
+        plan = FaultPlan.raise_at("s", [2])
+        for _ in range(3):  # install resets the counters every time
+            with plan.installed():
+                fault_point("s")
+                with pytest.raises(InjectedFault):
+                    fault_point("s")
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan([FaultSpec("s", "delay", delay_s=0.05)])
+        with plan.installed():
+            t0 = time.monotonic()
+            fault_point("s")
+            assert time.monotonic() - t0 >= 0.04
+
+    def test_worker_scoped_kill_ignores_other_workers(self):
+        # A kill aimed at worker 5 must not fire for worker 0's calls.
+        # (We test via matches(), not os._exit, for obvious reasons.)
+        plan = FaultPlan.kill_worker(5, at_chunk=1)
+        spec = plan.specs[0]
+        assert spec.action == "kill" and spec.worker == 5
+        assert not spec.matches(1, worker=0)
+        assert spec.matches(1, worker=5)
+
+    def test_kill_every_worker_is_wildcard(self):
+        plan = FaultPlan.kill_every_worker(at_chunk=2)
+        (spec,) = plan.specs
+        assert spec.worker is None and spec.at_call == 2
+
+    def test_random_kills_is_seeded(self):
+        a = FaultPlan.random_kills(9, num_workers=4, kills=2)
+        b = FaultPlan.random_kills(9, num_workers=4, kills=2)
+        assert a.specs == b.specs
+        assert len(a.specs) == 2
+        assert len({s.worker for s in a.specs}) == 2
+        with pytest.raises(ValueError):
+            FaultPlan.random_kills(0, num_workers=2, kills=3)
+
+    def test_pickle_strips_counters(self):
+        plan = FaultPlan.raise_at("s", [1])
+        with plan.installed():
+            with pytest.raises(InjectedFault):
+                fault_point("s")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert clone.fired == []  # fresh counters in the receiving process
+        with clone.installed():
+            with pytest.raises(InjectedFault):
+                fault_point("s")
+
+    def test_uninstall_only_removes_self(self):
+        first, second = FaultPlan(), FaultPlan()
+        first.install()
+        second.install()
+        first.uninstall()  # not active anymore; must not clobber second
+        assert active_plan() is second
+        second.uninstall()
+        assert active_plan() is None

@@ -55,7 +55,13 @@ class TestRoutes:
     def test_healthz(self, served_graph):
         conn, *_ = served_graph
         resp, body = request(conn, "GET", "/healthz")
-        assert resp.status == 200 and body == {"ok": True}
+        assert resp.status == 200
+        assert body["ok"] is True
+        assert body["degraded"] is False
+        assert body["dispatcher_alive"] is True
+        assert body["queue_depth"] == 0
+        assert body["breakers"] == {}
+        assert body["dispatcher_crashes"] == 0
 
     def test_query_matches_direct_miner(self, served_graph):
         conn, graph, fp, _ = served_graph

@@ -15,6 +15,10 @@ contract all at once:
   queue full, further admission raises ``QueryRejected`` (never a
   deadlock, never a silent drop);
 - the metrics snapshot reports p50/p99 latency and the shed count.
+
+A second wave re-runs the 64 clients against a pool backend with an
+injected backend failure: answers must stay byte-identical while the
+per-graph circuit breaker trips into (and back out of) degraded mode.
 """
 
 from __future__ import annotations
@@ -26,7 +30,14 @@ import pytest
 
 from repro.mining.mackey import MackeyMiner
 from repro.motifs.catalog import EVALUATION_MOTIFS
-from repro.service import MotifService, QueryRejected, build_payload, payload_bytes
+from repro.resilience import FaultPlan
+from repro.service import (
+    MotifService,
+    PoolExecutor,
+    QueryRejected,
+    build_payload,
+    payload_bytes,
+)
 
 NUM_CLIENTS = 64
 DELTAS = (20, 40)
@@ -166,3 +177,84 @@ class TestConcurrentLoad:
             rendered = svc.render_metrics()
             assert "shed (rejected)" in rendered
             assert "latency p99 (ms)" in rendered
+
+
+class TestDegradedLoad:
+    """64 concurrent clients against a backend with an injected failure:
+    zero wrong answers while the breaker trips into — and back out of —
+    degraded mode (the issue's acceptance wave)."""
+
+    def test_injected_failure_wave(self, load_graph, expected_bytes):
+        plan_keys = client_plan()
+        # Pool backend, hair-trigger breaker, short cooldown; no result
+        # cache so the backend actually sees the traffic.
+        executor = PoolExecutor(
+            2, breaker_failures=1, breaker_cooldown_s=0.4,
+        )
+        fault = FaultPlan.raise_at("executor.batch", [1])
+        with fault.installed():
+            with MotifService(
+                executor=executor, max_queue=NUM_CLIENTS, lanes=4,
+                cache_bytes=0,
+            ) as svc:
+                svc.register_graph(load_graph, name="load")
+                ready = threading.Barrier(NUM_CLIENTS + 1)
+                results = [None] * NUM_CLIENTS
+                failures = []
+
+                def client(i: int, motif, delta) -> None:
+                    try:
+                        ready.wait(timeout=30)
+                        results[i] = svc.query(load_graph, motif, delta)
+                    except Exception as exc:  # pragma: no cover
+                        failures.append((i, repr(exc)))
+
+                threads = [
+                    threading.Thread(target=client, args=(i, m, d))
+                    for i, (m, d) in enumerate(plan_keys)
+                ]
+                for t in threads:
+                    t.start()
+                ready.wait(timeout=30)
+                for t in threads:
+                    t.join(timeout=120)
+                assert failures == []
+
+                # Zero wrong answers: the injected failure and every
+                # degraded (inline) execution still produced payloads
+                # byte-identical to the direct serial miner.
+                for (motif, delta), result in zip(plan_keys, results):
+                    assert result is not None and result.ok, result
+                    assert payload_bytes(result.payload) == expected_bytes[
+                        (motif.name, delta)
+                    ]
+
+                # The failure was real and tripped the breaker into
+                # degraded mode...
+                assert len(fault.fired) == 1
+                m = svc.metrics()
+                assert m.errors == 0
+                assert m.backend_failures >= 1
+                assert m.breaker_opens >= 1
+                assert m.degraded_queries >= 1
+
+                # ...and out again: past the cooldown a probe query
+                # closes it and the service reports healthy.
+                import time as _time
+
+                deadline = _time.monotonic() + 10
+                while _time.monotonic() < deadline:
+                    _time.sleep(0.45)
+                    probe = svc.query(load_graph, EVALUATION_MOTIFS[0],
+                                      DELTAS[0])
+                    assert probe.ok
+                    assert payload_bytes(probe.payload) == expected_bytes[
+                        (EVALUATION_MOTIFS[0].name, DELTAS[0])
+                    ]
+                    if not svc.metrics().degraded:
+                        break
+                m = svc.metrics()
+                assert not m.degraded and m.breakers_open == 0
+                assert m.breaker_closes >= 1
+                health = svc.health()
+                assert health["ok"] and not health["degraded"]

@@ -11,8 +11,9 @@ module pins the scheduler's individual guarantees deterministically:
 - **batching** — compatible queries reach the backend as one call;
 - **deadlines** — expiry cancels queued work without mining it and
   stops running batches at the next cancellation poll;
-- **failure isolation** — a crashing backend yields ``"error"`` results
-  and the scheduler keeps serving.
+- **failure isolation** — one backend crash is absorbed by the single
+  batch retry; persistent crashes yield ``"error"`` results and the
+  scheduler keeps serving.
 """
 
 from __future__ import annotations
@@ -250,8 +251,26 @@ class TestDeadlines:
 
 
 class TestFailureIsolation:
-    def test_backend_crash_yields_error_and_scheduler_survives(self, graph):
+    def test_transient_backend_crash_is_retried_transparently(self, graph):
+        # One crash is absorbed by the scheduler's single batch retry:
+        # the client still gets a correct answer, and the retry is
+        # visible in the resilience counters.
         executor = CrashingExecutor(crashes=1)
+        registry, scheduler = make_scheduler(executor)
+        registry.register(graph)
+        from repro.service.query import MotifQuery
+
+        result = scheduler.submit(MotifQuery(graph.fingerprint(), M1, DELTA)).result()
+        scheduler.close()
+        assert result.ok
+        assert payload_bytes(result.payload) == direct_payload(graph, M1, DELTA)
+        assert scheduler.counters.get("batch_retries") == 1
+        assert scheduler.errors == 0
+
+    def test_backend_crash_yields_error_and_scheduler_survives(self, graph):
+        # Two consecutive crashes exhaust the single retry: the group
+        # errors, but the scheduler keeps serving.
+        executor = CrashingExecutor(crashes=2)
         registry, scheduler = make_scheduler(executor)
         registry.register(graph)
         from repro.service.query import MotifQuery
@@ -268,6 +287,7 @@ class TestFailureIsolation:
         assert ok.ok
         assert payload_bytes(ok.payload) == direct_payload(graph, M1, DELTA)
         assert scheduler.errors == 1
+        assert scheduler.counters.get("batch_retries") == 1
 
     def test_unknown_graph_is_an_error_result(self, graph):
         registry, scheduler = make_scheduler(InlineExecutor())
@@ -281,7 +301,7 @@ class TestFailureIsolation:
         assert "unknown graph" in result.error
 
     def test_crash_does_not_poison_cache(self, graph):
-        executor = CrashingExecutor(crashes=1)
+        executor = CrashingExecutor(crashes=2)
         registry, scheduler = make_scheduler(executor)
         registry.register(graph)
         from repro.service.query import MotifQuery

@@ -1,0 +1,184 @@
+"""Supervision-layer tests for :class:`SupervisedMiningPool`.
+
+Every test here asserts the same core invariant from a different
+failure angle: whatever dies, counts that do come back are
+byte-identical to the serial miner (chunks are idempotent, merging is
+commutative).  Fault injection is seeded, so each scenario is an
+ordinary deterministic test.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mining.mackey import MackeyMiner
+from repro.mining.parallel import MiningCancelled
+from repro.motifs.catalog import M1, M2
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    PoolDegraded,
+    PoolFailed,
+    SupervisedMiningPool,
+)
+from tests.conftest import random_temporal_graph
+
+DELTA = 60
+WORKERS = 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = random.Random(11)
+    return random_temporal_graph(rng, 40, 700, time_range=600)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    """Serial ground truth per motif: (count, counters dict)."""
+    out = {}
+    for motif in (M1, M2):
+        r = MackeyMiner(graph, motif, DELTA).mine()
+        out[motif.name] = (r.count, r.counters.as_dict())
+    return out
+
+
+def assert_parity(results, truth, motifs):
+    for motif, result in zip(motifs, results):
+        count, counters = truth[motif.name]
+        assert result.count == count
+        assert result.counters.as_dict() == counters
+
+
+@pytest.mark.timeout(120)
+class TestSupervisedPool:
+    def test_fault_free_parity(self, graph, truth):
+        with SupervisedMiningPool(graph, WORKERS) as pool:
+            results = pool.count_many([M1, M2], DELTA)
+            assert_parity(results, truth, [M1, M2])
+            assert pool.stats.worker_deaths == 0
+            assert pool.stats.chunks_completed > 0
+            assert not pool.degraded and not pool.broken
+
+    def test_single_worker_death_costs_one_chunk(self, graph, truth):
+        events = []
+        with SupervisedMiningPool(
+            graph, WORKERS,
+            fault_plan=FaultPlan.kill_worker(0, at_chunk=2),
+            on_event=lambda name, n: events.append(name),
+        ) as pool:
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+            assert pool.stats.worker_deaths == 1
+            # The killed worker's in-flight chunk was requeued once.
+            assert pool.stats.chunk_retries == 1
+            assert "worker_deaths" in events and "chunk_retries" in events
+            # Same pool keeps serving after the death.
+            again = pool.count_many([M2], DELTA)
+            assert_parity(again, truth, [M2])
+
+    def test_wedged_worker_is_killed_and_chunk_retried(self, graph, truth):
+        # Worker 0 stalls 2s on its first chunk against a 0.3s soft
+        # timeout: the supervisor must presume it wedged, SIGKILL it,
+        # and re-run the chunk elsewhere.
+        plan = FaultPlan([
+            FaultSpec("worker.chunk", "delay", at_call=1, worker=0,
+                      delay_s=2.0),
+        ])
+        with SupervisedMiningPool(
+            graph, WORKERS, chunk_timeout_s=0.3, fault_plan=plan,
+        ) as pool:
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+            assert pool.stats.wedged_kills == 1
+            assert pool.stats.chunk_retries >= 1
+
+    def test_respawn_refills_the_pool(self, graph, truth):
+        # Both original workers die, so the run can only finish on
+        # respawned replacements — whose fresh ids dodge the one-shot
+        # kill specs for workers 0 and 1.
+        with SupervisedMiningPool(
+            graph, 2,
+            fault_plan=FaultPlan.kill_workers({0: 1, 1: 1}),
+            backoff_base_s=0.01,
+        ) as pool:
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+            assert pool.stats.worker_deaths == 2
+            assert pool.stats.respawns >= 1
+            again = pool.count_many([M1], DELTA)
+            assert_parity(again, truth, [M1])
+            assert pool.stats.worker_deaths == 2
+
+    def test_budget_exhaustion_raises_pool_failed(self, graph):
+        # Every fresh worker (original or respawn) dies at its first
+        # chunk; with a budget of 2 respawns the pool must give up.
+        with SupervisedMiningPool(
+            graph, 2,
+            fault_plan=FaultPlan.kill_every_worker(at_chunk=1),
+            respawn_budget=2, backoff_base_s=0.01,
+        ) as pool:
+            with pytest.raises(PoolFailed):
+                pool.count_many([M1], DELTA)
+            assert pool.broken
+            # A broken pool refuses further work explicitly.
+            with pytest.raises(PoolFailed):
+                pool.count_many([M1], DELTA)
+
+    def test_degraded_completion_on_survivors(self, graph, truth):
+        # Worker 0 dies and there is no respawn budget: the pool keeps
+        # mining on the survivors and flags itself degraded.
+        with SupervisedMiningPool(
+            graph, WORKERS,
+            fault_plan=FaultPlan.kill_worker(0, at_chunk=1),
+            respawn_budget=0,
+        ) as pool:
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+            assert pool.degraded
+            assert pool.live_workers == WORKERS - 1
+            assert not pool.broken  # degraded, still mining
+
+    def test_strict_mode_raises_pool_degraded(self, graph):
+        with SupervisedMiningPool(
+            graph, WORKERS,
+            fault_plan=FaultPlan.kill_worker(0, at_chunk=1),
+            respawn_budget=0,
+        ) as pool:
+            with pytest.raises(PoolDegraded):
+                pool.count_many([M1], DELTA, allow_degraded=False)
+
+    def test_cancel_then_reuse(self, graph, truth):
+        with SupervisedMiningPool(graph, WORKERS) as pool:
+            with pytest.raises(MiningCancelled):
+                pool.count_many([M1], DELTA, cancel_check=lambda: True)
+            # Stale-epoch results from the cancelled run are discarded;
+            # the next run is clean.
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+
+    def test_empty_inputs(self, graph):
+        with SupervisedMiningPool(graph, 2) as pool:
+            assert pool.count_many([], DELTA) == []
+        from repro.graph.temporal_graph import TemporalGraph
+
+        empty = TemporalGraph([])
+        with SupervisedMiningPool(empty, 2) as pool:
+            (r,) = pool.count_many([M1], DELTA)
+            assert r.count == 0
+
+    def test_close_guards(self, graph):
+        pool = SupervisedMiningPool(graph, 2)
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.closed and pool.broken
+        with pytest.raises(RuntimeError):
+            pool.count_many([M1], DELTA)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            SupervisedMiningPool(graph, 0)
+        with pytest.raises(ValueError):
+            SupervisedMiningPool(graph, 1, chunk_timeout_s=0.0)
