@@ -30,6 +30,7 @@ from repro.resilience.faults import (
     fault_point,
 )
 from repro.resilience.supervisor import (
+    ChunkFailed,
     PoolDegraded,
     PoolFailed,
     PoolStats,
@@ -38,6 +39,7 @@ from repro.resilience.supervisor import (
 
 __all__ = [
     "CLOSED",
+    "ChunkFailed",
     "CircuitBreaker",
     "FaultPlan",
     "FaultSpec",

@@ -10,7 +10,9 @@ per graph fingerprint):
   ``cooldown_s`` the next :meth:`allow` admits exactly one probe and the
   breaker goes **half-open**.
 - **half-open** — one in-flight probe; success closes the breaker,
-  failure re-opens it for another cooldown.
+  failure re-opens it for another cooldown, and a *cancelled* probe
+  (:meth:`CircuitBreaker.cancel_probe`) re-arms the slot for the next
+  caller without judging the backend.
 
 The clock is injectable so transition tests need no sleeping, and an
 optional ``listener(event, breaker)`` observes every transition
@@ -89,6 +91,18 @@ class CircuitBreaker:
             self._probe_inflight = False
             if self._state != CLOSED:
                 self._transition(CLOSED, "close")
+
+    def cancel_probe(self) -> None:
+        """Release a probe slot without judging the backend.
+
+        For callers whose attempt was *cancelled* (deadline expiry)
+        rather than completed: the backend was proven neither good nor
+        bad, so the breaker stays half-open and re-arms the probe for
+        the next caller.  Without this, an abandoned probe would keep
+        ``allow`` returning False forever.  No-op outside half-open.
+        """
+        with self._lock:
+            self._probe_inflight = False
 
     def record_failure(self) -> None:
         with self._lock:

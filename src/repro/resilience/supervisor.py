@@ -23,7 +23,14 @@ owns its ``multiprocessing.Process`` workers directly:
   "wedge", answered with SIGKILL) costs exactly its current chunk: the
   supervisor drains the dead worker's pipe (accepting any result that
   did make it out), requeues the unfinished chunk at the front, and a
-  surviving worker picks it up.
+  surviving worker picks it up.  A chunk that *raises* in a healthy
+  worker is also retried, but at most ``max_chunk_errors`` times —
+  past that the run fails with :class:`ChunkFailed` rather than
+  requeueing a deterministically-bad input forever.
+- **Serialized calls.**  :meth:`count_many` is thread-safe: concurrent
+  callers (scheduler lanes sharing one cached pool) take turns on an
+  internal lock, since the epoch counter, worker pipes, and task ids
+  are per-pool shared state.
 - **Respawn with backoff.**  Dead workers are replaced, subject to a
   respawn budget, with capped exponential backoff and deterministic
   seeded jitter.  When the budget runs out the pool keeps mining on
@@ -41,6 +48,7 @@ from __future__ import annotations
 import itertools
 import os
 import random
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -69,6 +77,13 @@ class PoolDegraded(RuntimeError):
 class PoolFailed(PoolDegraded):
     """The respawn budget is exhausted and *no* workers survive: the
     run cannot complete and the pool is permanently broken."""
+
+
+class ChunkFailed(RuntimeError):
+    """One chunk kept raising inside healthy workers past the per-chunk
+    retry cap (``max_chunk_errors``) — a deterministic failure of that
+    (motif, root-range) input, not a worker-health problem.  The pool
+    itself stays usable; retrying the same input would loop forever."""
 
 
 @dataclass
@@ -148,6 +163,12 @@ class SupervisedMiningPool:
       retried elsewhere (``None`` disables wedge detection).
     - ``respawn_budget`` — total worker respawns allowed over the pool's
       lifetime (default ``3 * num_workers``).
+    - ``max_chunk_errors`` — how many times one chunk may *raise* in a
+      healthy worker before :meth:`count_many` gives up on the run with
+      :class:`ChunkFailed`.  Chunks lost to worker deaths are retried
+      without limit (deaths are bounded by the respawn budget); this cap
+      only stops a deterministically-failing chunk from requeueing
+      forever.
     - ``backoff_base_s`` / ``backoff_cap_s`` — capped exponential
       respawn backoff; jitter is drawn from a ``seed``-ed RNG so runs
       are reproducible.
@@ -165,6 +186,7 @@ class SupervisedMiningPool:
         *,
         chunk_timeout_s: Optional[float] = 30.0,
         respawn_budget: Optional[int] = None,
+        max_chunk_errors: int = 3,
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         seed: int = 0,
@@ -177,18 +199,25 @@ class SupervisedMiningPool:
             raise ValueError("SupervisedMiningPool needs at least one worker")
         if chunk_timeout_s is not None and chunk_timeout_s <= 0:
             raise ValueError("chunk_timeout_s must be positive (or None)")
+        if max_chunk_errors < 1:
+            raise ValueError("max_chunk_errors must be >= 1")
         self.graph = graph
         self.num_workers = int(num_workers)
         self.chunk_timeout_s = chunk_timeout_s
         self.respawn_budget = (
             3 * self.num_workers if respawn_budget is None else int(respawn_budget)
         )
+        self.max_chunk_errors = int(max_chunk_errors)
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_cap_s = float(backoff_cap_s)
         self.stats = PoolStats()
         self._fault_plan = fault_plan
         self._on_event = on_event
         self._jitter = random.Random(seed)
+        #: One supervision loop at a time: the epoch counter, the worker
+        #: pipes, and per-call task ids are all shared state, so
+        #: concurrent scheduler lanes must take turns (see count_many).
+        self._mine_lock = threading.Lock()
         self._ctx = get_context()
         self._closed = False
         self._failed = False
@@ -285,7 +314,7 @@ class SupervisedMiningPool:
             epoch, task_id, message = payload
             worker.current = None
             if epoch == self._epoch and task_id not in completed_ids:
-                on_result("retry", task_id, message)
+                on_result("error", task_id, message)
             return
         if kind == "done":
             epoch, task_id, count, counters = payload
@@ -347,8 +376,38 @@ class SupervisedMiningPool:
         merging is commutative, so deaths/retries cannot change counts.
         Raises :class:`PoolFailed` when no worker survives and the
         respawn budget is spent; :class:`PoolDegraded` additionally
-        (before completing on survivors) when ``allow_degraded=False``.
+        (before completing on survivors) when ``allow_degraded=False``;
+        :class:`ChunkFailed` when one chunk keeps raising past
+        ``max_chunk_errors`` attempts.
+
+        Thread-safe: concurrent callers (the service runs several
+        scheduler lanes against one cached pool) are serialized on an
+        internal lock — the epoch counter, worker pipes, and per-call
+        task ids are shared, so interleaved supervision loops would
+        mis-attribute or discard each other's chunks.  A caller whose
+        ``cancel_check`` trips while waiting for its turn raises
+        :class:`MiningCancelled` without ever touching the workers.
         """
+        while not self._mine_lock.acquire(timeout=0.05):
+            if cancel_check is not None and cancel_check():
+                raise MiningCancelled(
+                    "mining cancelled while waiting for the pool"
+                )
+        try:
+            return self._count_many_locked(
+                motifs, delta, chunks_per_worker, cancel_check, allow_degraded
+            )
+        finally:
+            self._mine_lock.release()
+
+    def _count_many_locked(
+        self,
+        motifs: Sequence,
+        delta: int,
+        chunks_per_worker: int,
+        cancel_check: Optional[Callable[[], bool]],
+        allow_degraded: bool,
+    ) -> List[ParallelResult]:
         if self._closed:
             raise RuntimeError("SupervisedMiningPool is closed")
         if self._failed:
@@ -372,6 +431,9 @@ class SupervisedMiningPool:
                 tid += 1
         pending: Deque[int] = deque(sorted(tasks))
         completed: Set[int] = set()
+        error_counts: Dict[int, int] = {}
+        #: First chunk to exhaust its error cap: (task_id, last message).
+        fatal: List[Tuple[int, str]] = []
 
         def on_result(kind: str, task_id: int, payload) -> None:
             if kind == "done":
@@ -381,15 +443,32 @@ class SupervisedMiningPool:
                 merged[idx].merge(SearchCounters(**counter_dict))
                 completed.add(task_id)
                 self._event("chunks_completed")
-            else:  # "retry": chunk raised in, or was lost with, a worker
-                pending.appendleft(task_id)
-                self._event("chunk_retries")
+                return
+            if kind == "error":
+                # The chunk raised in a surviving worker.  Unlike chunks
+                # lost to deaths (bounded by the respawn budget), a
+                # deterministic per-chunk exception would requeue
+                # forever — cap it and fail the run instead.
+                n = error_counts[task_id] = error_counts.get(task_id, 0) + 1
+                if n >= self.max_chunk_errors:
+                    fatal.append((task_id, str(payload)))
+                    return
+            # Requeue: a sub-cap "error", or a "retry" (the chunk was
+            # lost with a dead/wedged worker — bounded by the budget).
+            pending.appendleft(task_id)
+            self._event("chunk_retries")
 
         while len(completed) < len(tasks):
             if cancel_check is not None and cancel_check():
                 # Chunks in flight keep running; their results carry
                 # this epoch and are discarded by the next call.
                 raise MiningCancelled("mining cancelled by cancel_check")
+            if fatal:
+                task_id, message = fatal[0]
+                raise ChunkFailed(
+                    f"chunk {task_id} raised on all {self.max_chunk_errors} "
+                    f"attempts; last error: {message}"
+                )
             self._sweep_dead(on_result, completed)
             self._maybe_respawn()
             if not self._workers:
@@ -399,8 +478,19 @@ class SupervisedMiningPool:
                         "all workers dead and respawn budget "
                         f"({self.respawn_budget}) exhausted"
                     )
-                # Budget remains: wait out the backoff, then respawn.
-                time.sleep(max(0.0, self._next_spawn_at - time.monotonic()))
+                # Budget remains: wait out the backoff, then respawn —
+                # in small ticks, so a cancelled/deadline-expired batch
+                # stops blocking its lane immediately rather than after
+                # the full backoff delay.
+                while True:
+                    remaining = self._next_spawn_at - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    if cancel_check is not None and cancel_check():
+                        raise MiningCancelled(
+                            "mining cancelled during respawn backoff"
+                        )
+                    time.sleep(min(0.05, remaining))
                 self._maybe_respawn()
                 continue
             if (

@@ -246,7 +246,11 @@ class PoolExecutor:
                 list(motifs), delta, cancel_check=cancel_check
             )
         except MiningCancelled:
-            # A deadline is not a backend failure; don't punish the pool.
+            # A deadline is not a backend failure; don't punish the pool
+            # — but if this batch held the half-open probe slot, release
+            # it so the breaker can probe again (otherwise the graph
+            # stays degraded forever).
+            breaker.cancel_probe()
             raise
         except Exception:  # noqa: BLE001 - any backend failure degrades
             breaker.record_failure()

@@ -77,6 +77,25 @@ class TestTransitions:
         b.record_success()
         assert b.allow()  # closed again: everyone through
 
+    def test_cancelled_probe_rearms_the_half_open_slot(self, clock):
+        # A probe abandoned without a verdict (deadline cancellation)
+        # must not wedge the breaker half-open forever.
+        b = make_breaker(clock, threshold=1, cooldown=1.0)
+        b.record_failure()
+        clock.advance(1.0)
+        assert b.allow()  # the probe (open -> half-open)
+        assert not b.allow()  # slot taken
+        b.cancel_probe()  # probe cancelled, backend unjudged
+        assert b.state == HALF_OPEN
+        assert b.allow()  # next caller gets the re-armed slot
+        b.record_success()
+        assert b.state == CLOSED
+
+    def test_cancel_probe_is_a_noop_when_closed(self, clock):
+        b = make_breaker(clock, threshold=2)
+        b.cancel_probe()
+        assert b.state == CLOSED and b.allow()
+
     def test_half_open_failure_reopens_for_another_cooldown(self, clock):
         b = make_breaker(clock, threshold=1, cooldown=2.0)
         b.record_failure()

@@ -24,8 +24,9 @@ from http.client import HTTPConnection
 import pytest
 
 from repro.mining.mackey import MackeyMiner
+from repro.mining.parallel import MiningCancelled
 from repro.motifs.catalog import M1, M2
-from repro.resilience import CLOSED, OPEN, FaultPlan
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, FaultPlan
 from repro.service import (
     MotifService,
     PoolExecutor,
@@ -151,6 +152,34 @@ class TestBreakerDegradation:
             assert executor.counters.get("breaker_opens") == 1
             assert executor.counters.get("breaker_half_opens") == 1
             assert executor.counters.get("breaker_closes") == 1
+        finally:
+            executor.close()
+
+    def test_cancelled_probe_does_not_wedge_the_breaker(self, graph, expected):
+        executor = PoolExecutor(2, breaker_failures=1, breaker_cooldown_s=0.2)
+        fp = graph.fingerprint()
+        plan = FaultPlan.raise_at("executor.batch", [1])
+        try:
+            with plan.installed():
+                executor.count_batch(graph, [M1], DELTA)  # trips it open
+                assert executor.breaker_states()[fp] == OPEN
+                time.sleep(0.25)
+                # The half-open probe is cancelled by its deadline: the
+                # backend is judged neither good nor bad, and the probe
+                # slot must be released — not held in flight forever.
+                with pytest.raises(MiningCancelled):
+                    executor.count_batch(
+                        graph, [M1], DELTA, cancel_check=lambda: True
+                    )
+                assert executor.breaker_states()[fp] == HALF_OPEN
+                # The next caller gets the re-armed probe; its success
+                # closes the breaker instead of falling back inline.
+                batch = executor.count_batch(graph, [M2], DELTA)
+            payload = payload_bytes(
+                build_payload(fp, M2, DELTA, batch[0][0], batch[0][1])
+            )
+            assert payload == expected[M2.name]
+            assert executor.breaker_states()[fp] == CLOSED
         finally:
             executor.close()
 

@@ -10,6 +10,8 @@ ordinary deterministic test.
 from __future__ import annotations
 
 import random
+import threading
+import time
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.mining.mackey import MackeyMiner
 from repro.mining.parallel import MiningCancelled
 from repro.motifs.catalog import M1, M2
 from repro.resilience import (
+    ChunkFailed,
     FaultPlan,
     FaultSpec,
     PoolDegraded,
@@ -149,6 +152,93 @@ class TestSupervisedPool:
         ) as pool:
             with pytest.raises(PoolDegraded):
                 pool.count_many([M1], DELTA, allow_degraded=False)
+
+    def test_chunk_error_retried_below_the_cap(self, graph, truth):
+        # One worker whose first chunk raises: the chunk is requeued
+        # and succeeds on the worker's next call — parity intact.
+        with SupervisedMiningPool(
+            graph, 1, fault_plan=FaultPlan.raise_at("worker.chunk", [1]),
+        ) as pool:
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+            assert pool.stats.chunk_retries == 1
+            assert pool.stats.worker_deaths == 0
+
+    def test_deterministic_chunk_error_fails_past_the_cap(self, graph, truth):
+        # With one worker, the failing chunk is requeued at the front
+        # and immediately retried, so injected raises at calls 1..3 all
+        # hit the same chunk: the run must fail with ChunkFailed rather
+        # than requeueing forever at full CPU.
+        with SupervisedMiningPool(
+            graph, 1,
+            fault_plan=FaultPlan.raise_at("worker.chunk", [1, 2, 3]),
+            max_chunk_errors=3,
+        ) as pool:
+            with pytest.raises(ChunkFailed):
+                pool.count_many([M1], DELTA)
+            # Only the pre-cap attempts were requeued.
+            assert pool.stats.chunk_retries == 2
+            # A bad input is not a worker-health problem: the pool
+            # stays healthy and serves the next (fault-free) run.
+            assert not pool.broken
+            assert pool.live_workers == 1
+            results = pool.count_many([M1], DELTA)
+            assert_parity(results, truth, [M1])
+
+    def test_concurrent_count_many_is_thread_safe(self, graph, truth):
+        # The service hands one cached pool to several scheduler lanes;
+        # interleaved supervision loops must not mis-attribute or
+        # discard each other's chunks.
+        batches = [[M1], [M2], [M1, M2], [M2, M1]]
+        with SupervisedMiningPool(graph, WORKERS) as pool:
+            results = [None] * len(batches)
+            errors = []
+
+            def run(i: int) -> None:
+                try:
+                    results[i] = pool.count_many(batches[i], DELTA)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(i,))
+                for i in range(len(batches))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=90)
+            assert not errors
+            for batch, res in zip(batches, results):
+                assert res is not None
+                assert_parity(res, truth, batch)
+
+    def test_cancel_while_waiting_for_the_pool_lock(self, graph):
+        # A lane whose deadline expires while another lane holds the
+        # pool must abandon the wait, not block until its turn.
+        with SupervisedMiningPool(graph, 2) as pool:
+            with pool._mine_lock:
+                with pytest.raises(MiningCancelled):
+                    pool.count_many([M1], DELTA, cancel_check=lambda: True)
+
+    def test_cancel_during_respawn_backoff(self, graph):
+        # All workers dead, budget remaining, long backoff: a cancelled
+        # batch must stop blocking its lane immediately instead of
+        # sleeping out the whole backoff delay.
+        with SupervisedMiningPool(
+            graph, 1,
+            fault_plan=FaultPlan.kill_every_worker(at_chunk=1),
+            respawn_budget=5, backoff_base_s=30.0, backoff_cap_s=30.0,
+        ) as pool:
+            start = time.monotonic()
+            with pytest.raises(MiningCancelled):
+                pool.count_many(
+                    [M1], DELTA,
+                    cancel_check=lambda: pool.stats.worker_deaths >= 1,
+                )
+            # Backoff is >= 15s even at minimum jitter; a cancel-aware
+            # wait returns within a tick of the death.
+            assert time.monotonic() - start < 10.0
 
     def test_cancel_then_reuse(self, graph, truth):
         with SupervisedMiningPool(graph, WORKERS) as pool:
