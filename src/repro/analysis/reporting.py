@@ -82,6 +82,22 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(lines)
 
 
+def format_sharing_stats(sharing) -> str:
+    """One-line summary of co-mining :class:`~repro.comine.SharingStats`.
+
+    Used by ``repro census --engine comine`` and the census benchmark to
+    report how much traversal the family's prefix trie saved.
+    """
+    return (
+        f"shared traversal: {sharing.trie_nodes:,} trie nodes for "
+        f"{sharing.family_size} motifs "
+        f"({sharing.shared_nodes:,} shared, depth {sharing.max_depth}); "
+        f"prefix-hit ratio {sharing.prefix_hit_ratio:.3f}, "
+        f"{sharing.traversals_saved:,} candidate scans saved "
+        f"({sharing.traversal_sharing:.2f}x sharing)"
+    )
+
+
 def format_markdown(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     """Render a GitHub-flavored markdown table."""
     srows = _stringify(rows)

@@ -74,6 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable result payload (same shape as "
         "the `repro serve` HTTP endpoint returns)",
     )
+    mine.add_argument(
+        "--engine",
+        choices=("mackey", "comine"),
+        default="mackey",
+        help="mining engine: the dedicated serial miner, or the "
+        "shared-traversal co-miner (identical counts/counters; "
+        "incompatible with --memoize and --show-matches)",
+    )
 
     census = sub.add_parser("census", help="count the 36-motif grid")
     census.add_argument("graph")
@@ -89,7 +97,16 @@ def _build_parser() -> argparse.ArgumentParser:
     census.add_argument(
         "--json",
         action="store_true",
-        help="emit the machine-readable grid payload",
+        help="emit the machine-readable grid payload (per-motif "
+        "search counters included)",
+    )
+    census.add_argument(
+        "--engine",
+        choices=("mackey", "comine"),
+        default="mackey",
+        help="census engine: per-motif loop, or one shared co-mining "
+        "traversal for the whole grid (identical counts; reports "
+        "prefix-sharing stats)",
     )
 
     simulate = sub.add_parser("simulate", help="run the Mint simulator")
@@ -269,6 +286,28 @@ def cmd_mine(args) -> int:
         print("error: --show-matches requires the serial text mode "
               "(--workers 0, no --json)")
         return 2
+    if getattr(args, "engine", "mackey") == "comine":
+        if args.memoize or args.show_matches > 0:
+            print("error: --engine comine is incompatible with "
+                  "--memoize and --show-matches")
+            return 2
+        from repro.mining.multi import count_motif_family
+
+        census = count_motif_family(
+            graph, [motif], args.delta, engine="comine", num_workers=workers
+        )
+        count = census.counts[motif.name]
+        counters = census.per_motif[motif.name]
+        if as_json:
+            _print_mine_payload(graph, motif, args.delta, count, counters)
+            return 0
+        print(f"{motif.name} count (delta={args.delta}s): {count}")
+        print(
+            f"  candidates examined: {counters.candidates_scanned:,}  "
+            f"searches: {counters.searches:,}  "
+            f"bookkeeps: {counters.bookkeeps:,}  [comine]"
+        )
+        return 0
     if workers > 0:
         from repro.mining.parallel import count_motifs_parallel
 
@@ -332,19 +371,43 @@ def _print_mine_payload(graph, motif, delta, count, counters) -> None:
 def cmd_census(args) -> int:
     import json
 
+    from repro.mining.multi import grid_family_census
+    from repro.motifs.grid import paranjape_grid
+
     graph = _load(args.graph)
-    census = grid_census(graph, args.delta, num_workers=getattr(args, "workers", 0))
+    census = grid_family_census(
+        graph,
+        args.delta,
+        num_workers=getattr(args, "workers", 0),
+        engine=getattr(args, "engine", "mackey"),
+    )
+    grid = {
+        key: census.counts[motif.name]
+        for key, motif in paranjape_grid().items()
+    }
     if getattr(args, "json", False):
         payload = {
             "graph": graph.fingerprint(),
             "delta": int(args.delta),
-            "grid": {f"r{r}c{c}": n for (r, c), n in sorted(census.items())},
-            "total": sum(census.values()),
+            "engine": census.engine,
+            "grid": {f"r{r}c{c}": n for (r, c), n in sorted(grid.items())},
+            "total": census.total(),
+            "counters": census.counters.as_dict(),
+            "per_motif": {
+                name: c.as_dict()
+                for name, c in sorted(census.per_motif.items())
+            },
         }
+        if census.sharing is not None:
+            payload["sharing"] = census.sharing.as_dict()
         print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
         return 0
-    print(render_grid(census))
-    print(f"total: {sum(census.values()):,}")
+    print(render_grid(grid))
+    print(f"total: {census.total():,}")
+    if census.sharing is not None:
+        from repro.analysis.reporting import format_sharing_stats
+
+        print(format_sharing_stats(census.sharing))
     return 0
 
 

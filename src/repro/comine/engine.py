@@ -1,0 +1,429 @@
+"""The co-mining engine: one chronological DFS for a whole motif family.
+
+:class:`CoMiner` mines every motif of a family in a single task-centric
+search per root edge.  Instead of re-walking the graph once per motif
+(what :func:`repro.mining.multi.count_motif_family` historically did),
+the search descends the family's :class:`~repro.comine.trie.MotifTrie`:
+at each trie node the candidate scan — out-neighborhood, in-neighborhood
+or edge-list tail, exactly as in
+:class:`~repro.mining.mackey.MackeyMiner` — runs **once** and its
+partial match is extended toward every motif below that node.  A match
+reaching a node increments the count of every family member completing
+there.
+
+Correctness contract (enforced by the parity suites): per-motif counts
+are byte-identical to :class:`MackeyMiner`, and so are the per-motif
+:class:`~repro.mining.results.SearchCounters` — every counter event is
+charged to the trie node it happened at, and a motif's counters are the
+sum over its own path, which is exactly the work a dedicated traversal
+of that path performs.  The *family* counters aggregate each event once
+(the work actually done), so ``sharing`` quantifies what the trie
+saved: ``searches_unshared - searches`` scans and
+``candidates_unshared - candidates_scanned`` candidate touches never
+re-executed.
+
+Root tasks are independent, so :meth:`CoMiner.mine_range` restricts the
+root-edge range for chunked execution — the family analog of the
+parallel layer's root-range chunks — and :meth:`FamilyResult.merge`
+recombines chunk results commutatively.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import EDGE_RECORD_BYTES, INDEX_BYTES
+from repro.mining.parallel import MiningCancelled
+from repro.mining.results import SearchCounters
+from repro.motifs.motif import Motif
+
+from repro.comine.trie import MotifTrie, TrieNode
+
+
+@dataclass
+class SharingStats:
+    """How much traversal the trie shared across the family.
+
+    Static fields describe the trie; dynamic fields compare the family
+    aggregate (work done once) against the per-motif sums (work a
+    per-motif loop would have done).  Chunked runs merge by summing the
+    dynamic fields — the static ones are properties of the family.
+    """
+
+    family_size: int
+    trie_nodes: int
+    #: Path nodes a per-motif loop walks: one copy per motif per edge.
+    unshared_nodes: int
+    #: Trie nodes on more than one family member's path.
+    shared_nodes: int
+    max_depth: int
+    searches: int = 0
+    searches_unshared: int = 0
+    candidates_scanned: int = 0
+    candidates_unshared: int = 0
+    bytes_touched: int = 0
+    bytes_unshared: int = 0
+
+    STATIC_FIELDS = ("family_size", "trie_nodes", "unshared_nodes",
+                     "shared_nodes", "max_depth")
+    DYNAMIC_FIELDS = ("searches", "searches_unshared", "candidates_scanned",
+                      "candidates_unshared", "bytes_touched", "bytes_unshared")
+
+    @property
+    def prefix_hit_ratio(self) -> float:
+        """Fraction of per-motif scan work served from a shared prefix.
+
+        Dynamic when any scanning happened (1 - performed/unshared);
+        falls back to the structural trie ratio on an empty workload so
+        the family's shape is still reported.
+        """
+        if self.searches_unshared > 0:
+            return 1.0 - self.searches / self.searches_unshared
+        if self.unshared_nodes > 0:
+            return 1.0 - self.trie_nodes / self.unshared_nodes
+        return 0.0
+
+    @property
+    def searches_saved(self) -> int:
+        return self.searches_unshared - self.searches
+
+    @property
+    def traversals_saved(self) -> int:
+        """Candidate-edge touches a per-motif loop would re-execute."""
+        return self.candidates_unshared - self.candidates_scanned
+
+    @property
+    def traversal_sharing(self) -> float:
+        """Per-motif-loop scan volume over actual scan volume (>= 1)."""
+        if self.candidates_scanned > 0:
+            return self.candidates_unshared / self.candidates_scanned
+        return 1.0
+
+    def merge(self, other: "SharingStats") -> None:
+        for name in self.STATIC_FIELDS:
+            if getattr(self, name) != getattr(other, name):
+                raise ValueError(
+                    f"cannot merge sharing stats of different families "
+                    f"({name}: {getattr(self, name)} != {getattr(other, name)})"
+                )
+        for name in self.DYNAMIC_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> Dict[str, float]:
+        d: Dict[str, float] = {
+            name: getattr(self, name)
+            for name in self.STATIC_FIELDS + self.DYNAMIC_FIELDS
+        }
+        d["prefix_hit_ratio"] = self.prefix_hit_ratio
+        d["searches_saved"] = self.searches_saved
+        d["traversals_saved"] = self.traversals_saved
+        d["traversal_sharing"] = self.traversal_sharing
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "SharingStats":
+        return cls(**{
+            name: int(d[name])
+            for name in cls.STATIC_FIELDS + cls.DYNAMIC_FIELDS
+        })
+
+
+@dataclass
+class FamilyResult:
+    """Outcome of one co-mining run over a family.
+
+    ``counts``/``per_motif`` are indexed by family position (the order
+    the motifs were given in); ``counters`` aggregates every search
+    event once — the work actually performed by the shared traversal.
+    """
+
+    counts: List[int]
+    per_motif: List[SearchCounters]
+    counters: SearchCounters
+    sharing: SharingStats
+
+    def counts_by_name(self, motifs: Sequence[Motif]) -> Dict[str, int]:
+        return {m.name: c for m, c in zip(motifs, self.counts)}
+
+    def merge(self, other: "FamilyResult") -> None:
+        """Accumulate another chunk's results (commutative sums)."""
+        if len(other.counts) != len(self.counts):
+            raise ValueError("cannot merge results of different families")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+            self.per_motif[i].merge(other.per_motif[i])
+        self.counters.merge(other.counters)
+        self.sharing.merge(other.sharing)
+
+    def as_payload(self) -> Dict:
+        """Plain-types payload for cheap worker-to-parent shipping."""
+        return {
+            "counts": list(self.counts),
+            "per_motif": [c.as_dict() for c in self.per_motif],
+            "counters": self.counters.as_dict(),
+            "sharing": self.sharing.as_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "FamilyResult":
+        return cls(
+            counts=[int(c) for c in payload["counts"]],
+            per_motif=[SearchCounters(**d) for d in payload["per_motif"]],
+            counters=SearchCounters(**payload["counters"]),
+            sharing=SharingStats.from_dict(payload["sharing"]),
+        )
+
+    @classmethod
+    def empty(cls, trie: MotifTrie) -> "FamilyResult":
+        """A zero result for ``trie``'s family (merge accumulator seed)."""
+        n = trie.family_size
+        return cls(
+            counts=[0] * n,
+            per_motif=[SearchCounters() for _ in range(n)],
+            counters=SearchCounters(),
+            sharing=SharingStats(
+                family_size=n,
+                trie_nodes=trie.num_nodes,
+                unshared_nodes=trie.unshared_node_count(),
+                shared_nodes=trie.shared_nodes,
+                max_depth=trie.max_depth,
+            ),
+        )
+
+
+class CoMiner:
+    """Exact δ-temporal co-miner for a motif family (shared traversal).
+
+    Parameters
+    ----------
+    graph, motifs, delta:
+        The mining problem; ``motifs`` is the family (non-empty, any
+        order, duplicates allowed).
+    cancel_check:
+        Optional hook polled every ``cancel_stride`` root edges; when it
+        returns True the run raises
+        :class:`~repro.mining.parallel.MiningCancelled` (the serving
+        layer's deadline contract).
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        motifs: Sequence[Motif],
+        delta: int,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        cancel_stride: int = 256,
+    ) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if cancel_stride < 1:
+            raise ValueError("cancel_stride must be positive")
+        self.graph = graph
+        self.motifs: Sequence[Motif] = tuple(motifs)
+        self.trie = MotifTrie(self.motifs)  # raises on an empty family
+        self.delta = int(delta)
+        self.cancel_check = cancel_check
+        self.cancel_stride = int(cancel_stride)
+        self._src, self._dst, self._ts, self._out, self._in = (
+            graph.adjacency_lists()
+        )
+        self._max_labels = max(m.num_nodes for m in self.motifs)
+
+    # -- public API ------------------------------------------------------------
+
+    def mine(self) -> FamilyResult:
+        """Run the shared traversal over every root edge."""
+        return self.mine_range(0, self.graph.num_edges)
+
+    def mine_range(self, root_lo: int, root_hi: int) -> FamilyResult:
+        """Co-mine with root edges restricted to ``[root_lo, root_hi)``.
+
+        Chunk results merge commutatively (:meth:`FamilyResult.merge`),
+        so sharding the root range across workers cannot change counts.
+        """
+        trie = self.trie
+        node_counters = [SearchCounters() for _ in range(trie.num_nodes)]
+        counts = [0] * trie.family_size
+        self._node_counters = node_counters
+        self._counts = counts
+        m2g = self._m2g = [-1] * self._max_labels
+        g2m = self._g2m = {}
+
+        src, dst, ts = self._src, self._dst, self._ts
+        d1 = trie.first_edge_node
+        nc_root = node_counters[d1.index]
+        complete_1 = d1.complete
+        has_children = bool(d1.child_order)
+        delta = self.delta
+        cancel, stride = self.cancel_check, self.cancel_stride
+
+        lo = max(0, root_lo)
+        hi = min(root_hi, self.graph.num_edges)
+        for e0 in range(lo, hi):
+            if cancel is not None and (e0 - lo) % stride == 0 and cancel():
+                raise MiningCancelled("co-mining cancelled by cancel_check")
+            nc_root.root_tasks += 1
+            s, d = src[e0], dst[e0]
+            if s == d:
+                continue  # motif edges are never self-loops
+            m2g[0] = s
+            m2g[1] = d
+            g2m[s] = 0
+            g2m[d] = 1
+            nc_root.bookkeeps += 1
+            for i in complete_1:
+                counts[i] += 1
+            if has_children:
+                self._recurse(d1, e0, ts[e0] + delta)
+            del g2m[s]
+            del g2m[d]
+            m2g[0] = -1
+            m2g[1] = -1
+            nc_root.backtracks += 1
+        return self._finish(node_counters, counts)
+
+    # -- internals -------------------------------------------------------------
+
+    def _recurse(self, node: TrieNode, last_e: int, t_limit: int) -> None:
+        """Scan each child's candidates once; extend down its subtree.
+
+        The per-child scan is exactly :class:`MackeyMiner`'s find-next-
+        matching-edge for that edge spec, with counter events charged to
+        the child node — per-motif sums over path nodes therefore
+        reproduce the dedicated miner's counters identically.
+        """
+        src, dst, ts = self._src, self._dst, self._ts
+        m2g, g2m = self._m2g, self._g2m
+        node_counters = self._node_counters
+        for child in node.child_order:
+            nc = node_counters[child.index]
+            nc.searches += 1
+            u, v = child.edge
+            u_g, v_g = m2g[u], m2g[v]
+            if u_g >= 0:
+                neigh = self._out[u_g]
+                nc.binary_searches += 1
+                nc.binary_search_steps += max(1, ceil(log2(len(neigh) + 1)))
+                start = bisect_right(neigh, last_e)
+                for pos in range(start, len(neigh)):
+                    e = neigh[pos]
+                    t = ts[e]
+                    nc.candidates_scanned += 1
+                    nc.neighbor_items_touched += 1
+                    nc.bytes_touched += EDGE_RECORD_BYTES + INDEX_BYTES
+                    if t > t_limit:
+                        break
+                    d = dst[e]
+                    if v_g >= 0:
+                        if d != v_g:
+                            continue
+                    elif d in g2m or d == u_g:
+                        continue
+                    self._accept(child, nc, e, src[e], d, t_limit)
+            elif v_g >= 0:
+                neigh = self._in[v_g]
+                nc.binary_searches += 1
+                nc.binary_search_steps += max(1, ceil(log2(len(neigh) + 1)))
+                start = bisect_right(neigh, last_e)
+                for pos in range(start, len(neigh)):
+                    e = neigh[pos]
+                    t = ts[e]
+                    nc.candidates_scanned += 1
+                    nc.neighbor_items_touched += 1
+                    nc.bytes_touched += EDGE_RECORD_BYTES + INDEX_BYTES
+                    if t > t_limit:
+                        break
+                    s = src[e]
+                    if s in g2m or s == v_g:
+                        continue
+                    self._accept(child, nc, e, s, dst[e], t_limit)
+            else:
+                # Neither endpoint mapped (disconnected motifs): the
+                # search space is the tail of the entire edge list.
+                for e in range(last_e + 1, self.graph.num_edges):
+                    t = ts[e]
+                    nc.candidates_scanned += 1
+                    nc.bytes_touched += EDGE_RECORD_BYTES
+                    if t > t_limit:
+                        break
+                    s, d = src[e], dst[e]
+                    if s in g2m or d in g2m or s == d:
+                        continue
+                    self._accept(child, nc, e, s, d, t_limit)
+            nc.backtracks += 1
+
+    def _accept(
+        self,
+        child: TrieNode,
+        nc: SearchCounters,
+        e: int,
+        s: int,
+        d: int,
+        t_limit: int,
+    ) -> None:
+        """Book-keep edge ``e`` at ``child``, emit completions, recurse, undo."""
+        m2g, g2m = self._m2g, self._g2m
+        u, v = child.edge
+        new_u = m2g[u] == -1
+        if new_u:
+            m2g[u] = s
+            g2m[s] = u
+        new_v = m2g[v] == -1
+        if new_v:
+            m2g[v] = d
+            g2m[d] = v
+        nc.bookkeeps += 1
+        for i in child.complete:
+            self._counts[i] += 1
+        if child.child_order:
+            self._recurse(child, e, t_limit)
+        if new_v:
+            m2g[v] = -1
+            del g2m[d]
+        if new_u:
+            m2g[u] = -1
+            del g2m[s]
+
+    def _finish(
+        self, node_counters: List[SearchCounters], counts: List[int]
+    ) -> FamilyResult:
+        trie = self.trie
+        per_motif: List[SearchCounters] = []
+        for i in range(trie.family_size):
+            c = SearchCounters()
+            for node in trie.path(i):
+                c.merge(node_counters[node.index])
+            c.matches = counts[i]
+            per_motif.append(c)
+        family = SearchCounters()
+        for nc in node_counters:
+            family.merge(nc)
+        family.matches = sum(counts)
+        sharing = SharingStats(
+            family_size=trie.family_size,
+            trie_nodes=trie.num_nodes,
+            unshared_nodes=trie.unshared_node_count(),
+            shared_nodes=trie.shared_nodes,
+            max_depth=trie.max_depth,
+            searches=family.searches,
+            searches_unshared=sum(c.searches for c in per_motif),
+            candidates_scanned=family.candidates_scanned,
+            candidates_unshared=sum(c.candidates_scanned for c in per_motif),
+            bytes_touched=family.bytes_touched,
+            bytes_unshared=sum(c.bytes_touched for c in per_motif),
+        )
+        return FamilyResult(
+            counts=counts, per_motif=per_motif, counters=family, sharing=sharing
+        )
+
+
+def co_count(
+    graph: TemporalGraph, motifs: Sequence[Motif], delta: int
+) -> Dict[str, int]:
+    """One-pass family counts keyed by motif name (convenience wrapper)."""
+    result = CoMiner(graph, motifs, delta).mine()
+    return result.counts_by_name(motifs)

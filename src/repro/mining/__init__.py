@@ -25,12 +25,18 @@ from repro.mining.paranjape import ParanjapeMiner
 from repro.mining.presto import PrestoEstimator
 from repro.mining.cycles import TemporalCycleMiner, count_temporal_cycles
 from repro.mining.parallel import (
+    FamilyParallelResult,
     MiningCancelled,
     MiningPool,
     ParallelResult,
     count_motifs_parallel,
 )
-from repro.mining.multi import MotifCensus, count_motif_family, grid_census
+from repro.mining.multi import (
+    MotifCensus,
+    count_motif_family,
+    grid_census,
+    grid_family_census,
+)
 from repro.mining.features import motif_feature_matrix, node_motif_counts
 
 __all__ = [
@@ -49,6 +55,7 @@ __all__ = [
     "PrestoEstimator",
     "TemporalCycleMiner",
     "count_temporal_cycles",
+    "FamilyParallelResult",
     "MiningCancelled",
     "MiningPool",
     "ParallelResult",
@@ -56,6 +63,7 @@ __all__ = [
     "MotifCensus",
     "count_motif_family",
     "grid_census",
+    "grid_family_census",
     "motif_feature_matrix",
     "node_motif_counts",
 ]

@@ -2,15 +2,27 @@
 
 Counting a whole family of motifs (e.g. the 36-motif grid used for
 temporal network fingerprinting, paper §II-B's "features built with
-temporal motif distributions") is a common workload.  This module runs
-the exact miner per motif and assembles the census, with an optional
-shared-δ normalization so counts are comparable across motifs.
+temporal motif distributions") is a common workload.  Two engines:
+
+- ``engine="mackey"`` — the exact miner once per motif (the historical
+  per-motif loop);
+- ``engine="comine"`` — one shared traversal for the whole family via
+  :class:`repro.comine.CoMiner`: the family's canonical prefix trie is
+  walked once per root edge, so shared prefixes (every grid row shares
+  its first two edges) are searched once instead of once per motif.
+  Per-motif counts and counters are byte-identical to the per-motif
+  loop; the census additionally reports
+  :class:`~repro.comine.engine.SharingStats`.
+
+Both engines keep a per-motif :class:`SearchCounters` breakdown so a
+census report can attribute work to individual motifs, and both shard
+across worker processes with ``num_workers > 0``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.mackey import MackeyMiner
@@ -18,23 +30,49 @@ from repro.mining.results import SearchCounters
 from repro.motifs.grid import paranjape_grid
 from repro.motifs.motif import Motif
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.comine.engine import SharingStats
+
+#: Engines :func:`count_motif_family` accepts.
+CENSUS_ENGINES = ("mackey", "comine")
+
 
 @dataclass
 class MotifCensus:
-    """Counts for a family of motifs on one graph at one δ."""
+    """Counts for a family of motifs on one graph at one δ.
+
+    ``counters`` aggregates the work the chosen engine actually
+    performed; ``per_motif`` attributes search work to each motif (for
+    both engines it equals what a dedicated serial miner would report,
+    so attributions are engine-independent).  ``sharing`` is populated
+    by the co-mining engine only.
+    """
 
     delta: int
     counts: Dict[str, int]
     counters: SearchCounters
+    per_motif: Dict[str, SearchCounters] = field(default_factory=dict)
+    engine: str = "mackey"
+    sharing: Optional["SharingStats"] = None
 
     def total(self) -> int:
         return sum(self.counts.values())
 
     def distribution(self) -> Dict[str, float]:
-        """Counts normalized to fractions (a motif 'fingerprint')."""
+        """Counts normalized to fractions (a motif 'fingerprint').
+
+        Raises :class:`ValueError` when the total count is zero — a
+        zero-total distribution is undefined, and silently returning
+        all-zeros historically let empty censuses masquerade as valid
+        fingerprints downstream.
+        """
         total = self.total()
         if total == 0:
-            return {name: 0.0 for name in self.counts}
+            raise ValueError(
+                "cannot normalize a census with zero total matches "
+                f"({len(self.counts)} motifs, delta={self.delta}); "
+                "an all-zero 'distribution' is not a fingerprint"
+            )
         return {name: c / total for name, c in self.counts.items()}
 
     def top(self, k: int = 5) -> List[Tuple[str, int]]:
@@ -46,15 +84,105 @@ def count_motif_family(
     motifs: Sequence[Motif],
     delta: int,
     memoize: bool = False,
+    engine: str = "mackey",
+    num_workers: int = 0,
+    chunks_per_worker: int = 8,
 ) -> MotifCensus:
-    """Exactly count every motif in ``motifs`` within δ windows."""
+    """Exactly count every motif in ``motifs`` within δ windows.
+
+    ``engine="comine"`` mines the family in one shared traversal
+    (identical counts, shared-prefix work done once); ``num_workers >
+    0`` shards root-range chunks across a worker pool for either
+    engine.  An empty family raises :class:`ValueError` — a census of
+    nothing is a caller bug, not an all-zero result.
+    """
+    if not motifs:
+        raise ValueError("cannot count an empty motif family")
+    if engine not in CENSUS_ENGINES:
+        raise ValueError(
+            f"unknown census engine {engine!r}; expected one of {CENSUS_ENGINES}"
+        )
+    if engine == "comine" and memoize:
+        raise ValueError(
+            "memoize is a MackeyMiner cost-model knob; the co-mining "
+            "engine does not support it (counts would be identical anyway)"
+        )
+    if num_workers > 0 and graph.num_edges > 0:
+        return _count_family_parallel(
+            graph, motifs, delta, engine, num_workers, chunks_per_worker
+        )
+    if engine == "comine":
+        from repro.comine.engine import CoMiner
+
+        result = CoMiner(graph, motifs, delta).mine()
+        return MotifCensus(
+            delta=int(delta),
+            counts=result.counts_by_name(motifs),
+            counters=result.counters,
+            per_motif={
+                m.name: c for m, c in zip(motifs, result.per_motif)
+            },
+            engine="comine",
+            sharing=result.sharing,
+        )
     counts: Dict[str, int] = {}
+    per_motif: Dict[str, SearchCounters] = {}
     counters = SearchCounters()
     for motif in motifs:
         result = MackeyMiner(graph, motif, delta, memoize=memoize).mine()
         counts[motif.name] = result.count
+        per_motif[motif.name] = result.counters
         counters.merge(result.counters)
-    return MotifCensus(delta=int(delta), counts=counts, counters=counters)
+    return MotifCensus(
+        delta=int(delta),
+        counts=counts,
+        counters=counters,
+        per_motif=per_motif,
+        engine="mackey",
+    )
+
+
+def _count_family_parallel(
+    graph: TemporalGraph,
+    motifs: Sequence[Motif],
+    delta: int,
+    engine: str,
+    num_workers: int,
+    chunks_per_worker: int,
+) -> MotifCensus:
+    """Shard the family across a :class:`MiningPool` (either engine)."""
+    from repro.mining.parallel import MiningPool
+
+    with MiningPool(graph, num_workers) as pool:
+        if engine == "comine":
+            fam = pool.count_family(
+                list(motifs), delta, chunks_per_worker
+            )
+            return MotifCensus(
+                delta=int(delta),
+                counts={
+                    m.name: r.count for m, r in zip(motifs, fam.results)
+                },
+                counters=fam.counters,
+                per_motif={
+                    m.name: r.counters for m, r in zip(motifs, fam.results)
+                },
+                engine="comine",
+                sharing=fam.sharing,
+            )
+        results = pool.count_many(list(motifs), delta, chunks_per_worker)
+    counts = {m.name: r.count for m, r in zip(motifs, results)}
+    per_motif = {m.name: r.counters for m, r in zip(motifs, results)}
+    counters = SearchCounters()
+    for r in results:
+        counters.merge(r.counters)
+    return MotifCensus(
+        delta=int(delta),
+        counts=counts,
+        counters=counters,
+        per_motif=per_motif,
+        engine="mackey",
+    )
 
 
 def grid_census(
@@ -63,30 +191,50 @@ def grid_census(
     memoize: bool = False,
     num_workers: int = 0,
     chunks_per_worker: int = 8,
+    engine: str = "mackey",
 ) -> Dict[Tuple[int, int], int]:
     """Count the full Paranjape 6x6 grid; returns counts keyed (row, col).
 
-    With ``num_workers > 0`` all 36 motifs are mined through one shared
-    :class:`~repro.mining.parallel.MiningPool`: the graph is shipped to
-    the workers once (zero-copy where shared memory is available) and
-    every motif's root-range chunks share the dynamic dispatch window.
-    Counts are identical to the serial path by construction (``memoize``
-    only affects the software cost model, never results).
+    ``engine="comine"`` runs the whole grid in one shared traversal
+    (every row's two-edge prefix searched once for its six motifs);
+    ``num_workers > 0`` shards either engine's root-range chunks across
+    one shared :class:`~repro.mining.parallel.MiningPool`.  Counts are
+    identical across all four combinations by construction.
     """
+    census = grid_family_census(
+        graph,
+        delta,
+        memoize=memoize,
+        num_workers=num_workers,
+        chunks_per_worker=chunks_per_worker,
+        engine=engine,
+    )
     grid = paranjape_grid()
-    keys_motifs = sorted(grid.items())
-    if num_workers > 0 and graph.num_edges > 0:
-        from repro.mining.parallel import MiningPool
+    return {key: census.counts[motif.name] for key, motif in grid.items()}
 
-        with MiningPool(graph, num_workers) as pool:
-            results = pool.count_many(
-                [motif for _, motif in keys_motifs], delta, chunks_per_worker
-            )
-        return {key: r.count for (key, _), r in zip(keys_motifs, results)}
-    return {
-        key: MackeyMiner(graph, motif, delta, memoize=memoize).mine().count
-        for key, motif in keys_motifs
-    }
+
+def grid_family_census(
+    graph: TemporalGraph,
+    delta: int,
+    memoize: bool = False,
+    num_workers: int = 0,
+    chunks_per_worker: int = 8,
+    engine: str = "mackey",
+) -> MotifCensus:
+    """The grid census as a full :class:`MotifCensus` (per-motif counters,
+    sharing stats) rather than a bare count grid."""
+    keys_motifs = sorted(paranjape_grid().items())
+    if graph.num_edges == 0:
+        num_workers = 0
+    return count_motif_family(
+        graph,
+        [motif for _, motif in keys_motifs],
+        delta,
+        memoize=memoize,
+        engine=engine,
+        num_workers=num_workers,
+        chunks_per_worker=chunks_per_worker,
+    )
 
 
 def render_grid(census: Dict[Tuple[int, int], int]) -> str:

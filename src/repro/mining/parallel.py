@@ -121,6 +121,35 @@ def _mine_chunk(
     return result.count, result.counters.as_dict()
 
 
+def _cominer_for(family_edges: Tuple[Tuple[Tuple[int, int], ...], ...], delta: int):
+    """Worker-resident :class:`~repro.comine.engine.CoMiner` per family.
+
+    Like :func:`_miner_for`, the co-miner (and its motif trie) is built
+    once per (family, delta) and reused across that family's chunks.
+    """
+    from repro.comine.engine import CoMiner  # lazy: avoids an import cycle
+
+    cominers: dict = _WORKER_STATE.setdefault("cominers", {})
+    key = (family_edges, delta)
+    cominer = cominers.get(key)
+    if cominer is None:
+        cominer = CoMiner(
+            _WORKER_STATE["graph"],
+            [Motif(edges) for edges in family_edges],
+            delta,
+        )
+        cominers[key] = cominer
+    return cominer
+
+
+def _mine_family_chunk(
+    task: Tuple[Tuple[Tuple[Tuple[int, int], ...], ...], int, int, int]
+) -> dict:
+    """Co-mine one root-range chunk for a whole family (one traversal)."""
+    family_edges, delta, lo, hi = task
+    return _cominer_for(family_edges, delta).mine_range(lo, hi).as_payload()
+
+
 class _RangeMiner(MackeyMiner):
     """A Mackey miner that can restrict root tasks to an index range."""
 
@@ -229,6 +258,23 @@ class MiningCancelled(RuntimeError):
 class ParallelResult:
     count: int
     counters: SearchCounters
+    num_workers: int
+    num_chunks: int
+
+
+@dataclass(frozen=True)
+class FamilyParallelResult:
+    """Per-motif results of one sharded co-mining wave.
+
+    ``results`` follow the family's input order; each carries the
+    motif's exact count and its attributed per-motif counters (byte-
+    identical to a dedicated serial miner).  ``counters`` is the shared
+    work actually performed, ``sharing`` what the trie saved.
+    """
+
+    results: Tuple[ParallelResult, ...]
+    counters: SearchCounters
+    sharing: "SharingStats"  # noqa: F821 - repro.comine.engine.SharingStats
     num_workers: int
     num_chunks: int
 
@@ -407,6 +453,88 @@ class MiningPool:
             ParallelResult(totals[i], merged[i], self.num_workers, chunk_counts[i])
             for i in range(len(motifs))
         ]
+
+    def count_family(
+        self,
+        motifs: Sequence[Motif],
+        delta: int,
+        chunks_per_worker: int = 8,
+        cancel_check: Optional[Callable[[], bool]] = None,
+    ) -> FamilyParallelResult:
+        """Co-mine a whole family: each chunk is ONE shared traversal.
+
+        Where :meth:`count_many` dispatches ``len(motifs)`` chunk waves
+        (one per motif), this sends each root range to a worker once and
+        the worker's resident :class:`~repro.comine.engine.CoMiner`
+        extends it toward every motif simultaneously.  Per-motif counts
+        and counters are byte-identical to :meth:`count_many`; the
+        family-level counters and sharing stats report the saved work.
+        """
+        from repro.comine.engine import FamilyResult
+        from repro.comine.trie import MotifTrie
+
+        if self._closed:
+            raise RuntimeError("MiningPool is closed")
+        trie = MotifTrie(motifs)  # validates the family (raises on empty)
+        acc = FamilyResult.empty(trie)
+        m = self.graph.num_edges
+        if m == 0:
+            return self._family_result(motifs, acc, 0)
+
+        bounds = _guided_bounds(m, self.num_workers, chunks_per_worker)
+        family_edges = tuple(m_.edges for m_ in motifs)
+        task_iter = iter(
+            (family_edges, int(delta), lo, hi) for lo, hi in bounds
+        )
+        pending: set = set()
+
+        def submit_next() -> None:
+            try:
+                task = next(task_iter)
+            except StopIteration:
+                return
+            try:
+                pending.add(self._pool.submit(_mine_family_chunk, task))
+            except BrokenProcessPool:
+                self._broken = True
+                raise
+
+        for _ in range(2 * self.num_workers):
+            submit_next()
+        while pending:
+            if cancel_check is not None and cancel_check():
+                for fut in pending:
+                    fut.cancel()
+                wait(pending)
+                pending.clear()
+                raise MiningCancelled("mining cancelled by cancel_check")
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                pending.discard(fut)
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool:
+                    self._broken = True
+                    raise
+                acc.merge(FamilyResult.from_payload(payload))
+                submit_next()
+        return self._family_result(motifs, acc, len(bounds))
+
+    def _family_result(
+        self, motifs: Sequence[Motif], acc, num_chunks: int
+    ) -> FamilyParallelResult:
+        return FamilyParallelResult(
+            results=tuple(
+                ParallelResult(
+                    acc.counts[i], acc.per_motif[i], self.num_workers, num_chunks
+                )
+                for i in range(len(motifs))
+            ),
+            counters=acc.counters,
+            sharing=acc.sharing,
+            num_workers=self.num_workers,
+            num_chunks=num_chunks,
+        )
 
 
 def count_motifs_parallel(

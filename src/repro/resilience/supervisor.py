@@ -57,11 +57,13 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.parallel import (
+    FamilyParallelResult,
     GraphShipment,
     MiningCancelled,
     ParallelResult,
     _guided_bounds,
     _mine_chunk,
+    _mine_family_chunk,
 )
 from repro.mining.results import SearchCounters
 from repro.resilience.faults import FaultPlan, fault_point
@@ -98,6 +100,30 @@ class PoolStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class _SerializedTurn:
+    """Acquire the pool's mining lock, honoring the caller's deadline.
+
+    Callers waiting for their turn poll ``cancel_check`` so a batch
+    whose deadline expired in the queue raises
+    :class:`~repro.mining.parallel.MiningCancelled` without ever
+    touching the workers.
+    """
+
+    def __init__(self, lock, cancel_check) -> None:
+        self._lock = lock
+        self._cancel_check = cancel_check
+
+    def __enter__(self) -> None:
+        while not self._lock.acquire(timeout=0.05):
+            if self._cancel_check is not None and self._cancel_check():
+                raise MiningCancelled(
+                    "mining cancelled while waiting for the pool"
+                )
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()
 
 
 class _Worker:
@@ -142,14 +168,18 @@ def _supervised_worker(  # pragma: no cover - runs in spawned workers only
             return  # supervisor went away
         if msg is None:
             return
-        epoch, task_id, motif_edges, delta, lo, hi = msg
+        epoch, task_id, kind, spec, delta, lo, hi = msg
         try:
             fault_point("worker.chunk", worker=wid, chunk=task_id)
-            count, counters = _mine_chunk((motif_edges, delta, lo, hi))
+            if kind == "family":
+                # One shared co-mining traversal for the whole family.
+                result = _mine_family_chunk((spec, delta, lo, hi))
+            else:
+                result = _mine_chunk((spec, delta, lo, hi))
         except BaseException as exc:  # noqa: BLE001
             conn.send(("chunk_error", wid, (epoch, task_id, repr(exc))))
             continue
-        conn.send(("done", wid, (epoch, task_id, count, counters)))
+        conn.send(("done", wid, (epoch, task_id, result)))
 
 
 class SupervisedMiningPool:
@@ -317,10 +347,10 @@ class SupervisedMiningPool:
                 on_result("error", task_id, message)
             return
         if kind == "done":
-            epoch, task_id, count, counters = payload
+            epoch, task_id, result = payload
             worker.current = None
             if epoch == self._epoch and task_id not in completed_ids:
-                on_result("done", task_id, (count, counters))
+                on_result("done", task_id, result)
             return
 
     @property
@@ -388,17 +418,35 @@ class SupervisedMiningPool:
         ``cancel_check`` trips while waiting for its turn raises
         :class:`MiningCancelled` without ever touching the workers.
         """
-        while not self._mine_lock.acquire(timeout=0.05):
-            if cancel_check is not None and cancel_check():
-                raise MiningCancelled(
-                    "mining cancelled while waiting for the pool"
-                )
-        try:
+        with self._serialized(cancel_check):
             return self._count_many_locked(
                 motifs, delta, chunks_per_worker, cancel_check, allow_degraded
             )
-        finally:
-            self._mine_lock.release()
+
+    def count_family(
+        self,
+        motifs: Sequence,
+        delta: int,
+        chunks_per_worker: int = 8,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        allow_degraded: bool = True,
+    ) -> FamilyParallelResult:
+        """Co-mine a motif family under supervision (one shared traversal
+        per chunk, the ``"family"`` chunk kind).
+
+        Family chunks are as idempotent as per-motif ones — a chunk is a
+        pure function of ``(family, delta, root range)`` and merging is
+        commutative — so the same retry/respawn/chaos machinery applies
+        unchanged and per-motif counts stay byte-identical to the serial
+        miner across any pattern of worker deaths.
+        """
+        with self._serialized(cancel_check):
+            return self._count_family_locked(
+                motifs, delta, chunks_per_worker, cancel_check, allow_degraded
+            )
+
+    def _serialized(self, cancel_check: Optional[Callable[[], bool]]):
+        return _SerializedTurn(self._mine_lock, cancel_check)
 
     def _count_many_locked(
         self,
@@ -408,27 +456,108 @@ class SupervisedMiningPool:
         cancel_check: Optional[Callable[[], bool]],
         allow_degraded: bool,
     ) -> List[ParallelResult]:
-        if self._closed:
-            raise RuntimeError("SupervisedMiningPool is closed")
-        if self._failed:
-            raise PoolFailed("pool is broken (a previous run exhausted it)")
         m = self.graph.num_edges
         totals = [0] * len(motifs)
         merged = [SearchCounters() for _ in motifs]
         if m == 0 or not motifs:
+            self._check_usable()
             return [
                 ParallelResult(totals[i], merged[i], self.num_workers, 0)
                 for i in range(len(motifs))
             ]
 
-        self._epoch += 1
         bounds = _guided_bounds(m, self.num_workers, chunks_per_worker)
-        tasks: Dict[int, Tuple[int, Tuple, int, int, int]] = {}
-        tid = 0
+        specs: List[Tuple[str, Tuple, int, int, int]] = []
+        owners: List[int] = []
         for i, motif in enumerate(motifs):
             for lo, hi in bounds:
-                tasks[tid] = (i, motif.edges, int(delta), lo, hi)
-                tid += 1
+                specs.append(("motif", motif.edges, int(delta), lo, hi))
+                owners.append(i)
+
+        def apply_result(task_id: int, result) -> None:
+            count, counter_dict = result
+            idx = owners[task_id]
+            totals[idx] += count
+            merged[idx].merge(SearchCounters(**counter_dict))
+
+        self._run_chunks(specs, apply_result, cancel_check, allow_degraded)
+        return [
+            ParallelResult(totals[i], merged[i], self.num_workers, len(bounds))
+            for i in range(len(motifs))
+        ]
+
+    def _count_family_locked(
+        self,
+        motifs: Sequence,
+        delta: int,
+        chunks_per_worker: int,
+        cancel_check: Optional[Callable[[], bool]],
+        allow_degraded: bool,
+    ) -> FamilyParallelResult:
+        from repro.comine.engine import FamilyResult
+        from repro.comine.trie import MotifTrie
+
+        trie = MotifTrie(motifs)  # validates the family (raises on empty)
+        acc = FamilyResult.empty(trie)
+        m = self.graph.num_edges
+        if m == 0:
+            self._check_usable()
+            return self._family_result(motifs, acc, 0)
+
+        bounds = _guided_bounds(m, self.num_workers, chunks_per_worker)
+        family_edges = tuple(m_.edges for m_ in motifs)
+        specs = [
+            ("family", family_edges, int(delta), lo, hi) for lo, hi in bounds
+        ]
+
+        def apply_result(task_id: int, result) -> None:
+            acc.merge(FamilyResult.from_payload(result))
+
+        self._run_chunks(specs, apply_result, cancel_check, allow_degraded)
+        return self._family_result(motifs, acc, len(bounds))
+
+    def _family_result(
+        self, motifs: Sequence, acc, num_chunks: int
+    ) -> FamilyParallelResult:
+        return FamilyParallelResult(
+            results=tuple(
+                ParallelResult(
+                    acc.counts[i], acc.per_motif[i], self.num_workers, num_chunks
+                )
+                for i in range(len(motifs))
+            ),
+            counters=acc.counters,
+            sharing=acc.sharing,
+            num_workers=self.num_workers,
+            num_chunks=num_chunks,
+        )
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise RuntimeError("SupervisedMiningPool is closed")
+        if self._failed:
+            raise PoolFailed("pool is broken (a previous run exhausted it)")
+
+    def _run_chunks(
+        self,
+        specs: Sequence[Tuple[str, Tuple, int, int, int]],
+        apply_result: Callable[[int, object], None],
+        cancel_check: Optional[Callable[[], bool]],
+        allow_degraded: bool,
+    ) -> None:
+        """The supervision loop, agnostic of chunk kind.
+
+        ``specs[i]`` is ``(kind, spec, delta, lo, hi)`` — the wire task
+        a worker dispatches on — and ``apply_result(task_id, result)``
+        folds one completed chunk into the caller's accumulator.  All
+        retry, wedge-kill, respawn-backoff, degraded and failure
+        semantics live here, shared by per-motif and family runs.
+        """
+        self._check_usable()
+        self._epoch += 1
+        tasks: Dict[int, Tuple[str, Tuple, int, int, int]] = dict(
+            enumerate(specs)
+        )
         pending: Deque[int] = deque(sorted(tasks))
         completed: Set[int] = set()
         error_counts: Dict[int, int] = {}
@@ -437,10 +566,7 @@ class SupervisedMiningPool:
 
         def on_result(kind: str, task_id: int, payload) -> None:
             if kind == "done":
-                count, counter_dict = payload
-                idx = tasks[task_id][0]
-                totals[idx] += count
-                merged[idx].merge(SearchCounters(**counter_dict))
+                apply_result(task_id, payload)
                 completed.add(task_id)
                 self._event("chunks_completed")
                 return
@@ -507,11 +633,6 @@ class SupervisedMiningPool:
             self._dispatch(pending, tasks, completed)
             self._wait_and_collect(on_result, completed)
 
-        return [
-            ParallelResult(totals[i], merged[i], self.num_workers, len(bounds))
-            for i in range(len(motifs))
-        ]
-
     # -- supervision internals -------------------------------------------------
 
     def _dispatch(self, pending: Deque[int], tasks, completed) -> None:
@@ -523,9 +644,11 @@ class SupervisedMiningPool:
             task_id = pending.popleft()
             if task_id in completed:  # pragma: no cover - defensive
                 continue
-            _, edges, delta, lo, hi = tasks[task_id]
+            kind, spec, delta, lo, hi = tasks[task_id]
             try:
-                worker.conn.send((self._epoch, task_id, edges, delta, lo, hi))
+                worker.conn.send(
+                    (self._epoch, task_id, kind, spec, delta, lo, hi)
+                )
             except (BrokenPipeError, OSError):
                 # Died between sweep and send; requeue, next sweep buries.
                 pending.appendleft(task_id)

@@ -2,12 +2,18 @@
 
 The scheduler groups compatible queries (same graph, same δ) into one
 batch; an executor turns a batch into per-motif ``(count, counters)``
-pairs.  Two implementations:
+pairs.  Both executors route multi-motif batches through the shared
+co-mining traversal (``comine=True``, the default): the batch's motifs
+are mined in ONE pass down their prefix trie, with per-motif counts and
+counters byte-identical to per-motif mining — so caching and coalescing
+behave exactly as before, just cheaper.  Two implementations:
 
-- :class:`InlineExecutor` — serial :class:`MackeyMiner` per motif inside
-  the calling lane thread.  No processes, no setup cost; the right
-  backend for small graphs, tests and single-machine deployments where
-  query concurrency (lanes) already saturates the cores.
+- :class:`InlineExecutor` — serial mining inside the calling lane
+  thread (:class:`~repro.comine.engine.CoMiner` for multi-motif
+  batches, :class:`MackeyMiner` otherwise).  No processes, no setup
+  cost; the right backend for small graphs, tests and single-machine
+  deployments where query concurrency (lanes) already saturates the
+  cores.
 - :class:`PoolExecutor` — per-graph resident worker pool reuse
   (:class:`~repro.resilience.supervisor.SupervisedMiningPool` by
   default).  The first batch against a graph ships it (zero-copy shared
@@ -55,7 +61,28 @@ BatchItem = Tuple[int, Dict[str, int]]
 
 
 class InlineExecutor:
-    """Serial in-process mining; cancellation polls between motifs."""
+    """Serial in-process mining; cancellation polls between motifs.
+
+    ``comine=True`` (default) routes multi-motif batches through one
+    shared :class:`~repro.comine.engine.CoMiner` traversal instead of a
+    per-motif loop — per-motif counts and counters are byte-identical
+    (the co-miner's correctness contract), so cached payloads don't
+    depend on how queries happened to batch.  Singleton batches always
+    use the plain miner (there is nothing to share).
+    """
+
+    # Class-level defaults so subclasses that skip __init__ (test fakes
+    # wrapping count_batch) still mine correctly.
+    comine = True
+    counters: Optional[ResilienceCounters] = None
+
+    def __init__(
+        self,
+        comine: bool = True,
+        counters: Optional[ResilienceCounters] = None,
+    ) -> None:
+        self.comine = bool(comine)
+        self.counters = counters
 
     def count_batch(
         self,
@@ -64,6 +91,18 @@ class InlineExecutor:
         delta: int,
         cancel_check: Optional[Callable[[], bool]] = None,
     ) -> List[BatchItem]:
+        if self.comine and len(motifs) > 1:
+            from repro.comine.engine import CoMiner
+
+            result = CoMiner(
+                graph, list(motifs), delta, cancel_check=cancel_check
+            ).mine()
+            if self.counters is not None:
+                self.counters.inc("comined_batches")
+            return [
+                (count, counters.as_dict())
+                for count, counters in zip(result.counts, result.per_motif)
+            ]
         out: List[BatchItem] = []
         for motif in motifs:
             if cancel_check is not None and cancel_check():
@@ -107,6 +146,7 @@ class PoolExecutor:
         respawn_budget: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         counters: Optional[ResilienceCounters] = None,
+        comine: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError("PoolExecutor needs at least one worker")
@@ -121,7 +161,8 @@ class PoolExecutor:
         self.respawn_budget = respawn_budget
         self.fault_plan = fault_plan
         self.counters = counters if counters is not None else ResilienceCounters()
-        self._fallback = InlineExecutor()
+        self.comine = bool(comine)
+        self._fallback = InlineExecutor(comine=self.comine, counters=self.counters)
         self._lock = threading.Lock()
         #: fingerprint -> pool, most recently used last.
         self._pools: Dict[str, object] = {}
@@ -242,9 +283,18 @@ class PoolExecutor:
         try:
             fault_point("executor.batch", graph=fp)
             pool = self._pool_for(graph)
-            results = pool.count_many(
-                list(motifs), delta, cancel_check=cancel_check
-            )
+            if self.comine and len(motifs) > 1:
+                # Multi-motif batch lane: one shared co-mining traversal
+                # sharded over the pool (byte-identical per motif).
+                fam = pool.count_family(
+                    list(motifs), delta, cancel_check=cancel_check
+                )
+                results = list(fam.results)
+                self.counters.inc("comined_batches")
+            else:
+                results = pool.count_many(
+                    list(motifs), delta, cancel_check=cancel_check
+                )
         except MiningCancelled:
             # A deadline is not a backend failure; don't punish the pool
             # — but if this batch held the half-open probe slot, release

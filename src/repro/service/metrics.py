@@ -55,6 +55,7 @@ class ResilienceCounters:
         "chunks_completed",
         "backend_failures",
         "degraded_queries",
+        "comined_batches",
         "batch_retries",
         "dispatcher_crashes",
         "pools_rebuilt",
@@ -140,6 +141,8 @@ class ServiceMetrics:
     worker_respawns: int = 0
     backend_failures: int = 0
     degraded_queries: int = 0
+    #: Multi-motif batches served by one shared co-mining traversal.
+    comined_batches: int = 0
     batch_retries: int = 0
     dispatcher_crashes: int = 0
     pools_rebuilt: int = 0
@@ -199,6 +202,7 @@ class ServiceMetrics:
             ["worker respawns", self.worker_respawns],
             ["backend failures", self.backend_failures],
             ["degraded queries", self.degraded_queries],
+            ["co-mined batches", self.comined_batches],
             ["batch retries", self.batch_retries],
             ["dispatcher crashes", self.dispatcher_crashes],
             ["breaker opens", self.breaker_opens],

@@ -444,6 +444,7 @@ class QueryScheduler:
             worker_respawns=res["respawns"],
             backend_failures=res["backend_failures"],
             degraded_queries=res["degraded_queries"],
+            comined_batches=res["comined_batches"],
             batch_retries=res["batch_retries"],
             dispatcher_crashes=res["dispatcher_crashes"],
             pools_rebuilt=res["pools_rebuilt"],

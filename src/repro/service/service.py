@@ -74,11 +74,13 @@ class MotifService:
             # Caller-supplied backend (custom breaker/fault settings);
             # adopt its counters so metrics stay coherent.
             self.executor = executor
-            self.resilience = getattr(executor, "counters", self.resilience)
+            self.resilience = (
+                getattr(executor, "counters", None) or self.resilience
+            )
         elif num_workers > 0:
             self.executor = PoolExecutor(num_workers, counters=self.resilience)
         else:
-            self.executor = InlineExecutor()
+            self.executor = InlineExecutor(counters=self.resilience)
         self.scheduler = QueryScheduler(
             self.registry,
             self.cache,

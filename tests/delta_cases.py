@@ -14,8 +14,8 @@ exercising the exact semantics of §II-A that off-by-one bugs hit first:
   never self-loops), in any position — root, middle, or final edge.
 
 ``expected`` is the hand-derived count; every miner — Mackey,
-brute-force, task-centric, and the streaming engine — must report it
-*identically*.
+brute-force, task-centric, the streaming engine, and the
+shared-traversal co-miner — must report it *identically*.
 """
 
 from __future__ import annotations
@@ -157,6 +157,13 @@ def streaming_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
     return stream_count(graph, motif, delta)
 
 
+def comine_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    """The shared-traversal co-miner, run as a family of one."""
+    from repro.comine import CoMiner
+
+    return CoMiner(graph, [motif], delta).mine().counts[0]
+
+
 #: name -> count(graph, motif, delta); every backend must agree on every
 #: case above (and anywhere else the suites cross-check them).
 COUNT_BACKENDS = {
@@ -164,4 +171,5 @@ COUNT_BACKENDS = {
     "bruteforce": bruteforce_count,
     "taskcentric": taskcentric_count,
     "streaming": streaming_count,
+    "comine": comine_count,
 }

@@ -232,7 +232,47 @@ class TestJsonOutput:
         total = int(text_out.rsplit("total:", 1)[1].strip().replace(",", ""))
         assert main(["census", path, "--delta", str(delta), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"graph", "delta", "grid", "total"}
+        assert set(payload) == {
+            "graph", "delta", "engine", "grid", "total", "counters",
+            "per_motif",
+        }
         assert payload["total"] == total
+        assert payload["engine"] == "mackey"
         assert len(payload["grid"]) == 36
+        assert len(payload["per_motif"]) == 36
         assert payload["graph"] == g.fingerprint()
+
+    def test_census_comine_engine_matches_mackey(self, graph_file, capsys):
+        import json
+
+        path, g = graph_file
+        delta = g.time_span // 60
+        assert main(["census", path, "--delta", str(delta), "--json"]) == 0
+        mackey = json.loads(capsys.readouterr().out)
+        assert main(["census", path, "--delta", str(delta), "--json",
+                     "--engine", "comine"]) == 0
+        comine = json.loads(capsys.readouterr().out)
+        assert comine["engine"] == "comine"
+        assert comine["grid"] == mackey["grid"]
+        # Per-motif attribution is engine-independent (byte-identical).
+        assert comine["per_motif"] == mackey["per_motif"]
+        assert "sharing" in comine
+        assert comine["sharing"]["trie_nodes"] < comine["sharing"]["unshared_nodes"]
+        # Text mode prints the sharing summary line.
+        assert main(["census", path, "--delta", str(delta),
+                     "--engine", "comine"]) == 0
+        assert "prefix-hit ratio" in capsys.readouterr().out
+
+    def test_mine_comine_engine_matches_mackey(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["mine", path, "--delta", "10", "--json"]) == 0
+        expected = capsys.readouterr().out
+        assert main(["mine", path, "--delta", "10", "--json",
+                     "--engine", "comine"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_mine_comine_rejects_memoize(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["mine", path, "--delta", "10",
+                     "--engine", "comine", "--memoize"]) == 2
+        assert "error" in capsys.readouterr().out

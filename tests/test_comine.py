@@ -1,0 +1,254 @@
+"""Unit and parity tests for ``repro.comine`` (trie + co-mining engine).
+
+Two layers:
+
+- **Trie construction** — deterministic shared-prefix merging of
+  canonical edge-orderings: node counts, completion tags, path lookup,
+  permutation invariance, and the structural facts the engine relies on
+  (single depth-1 child; grid = 1 + 6 + 36 nodes).
+- **Engine parity** — the co-miner's correctness contract: per-motif
+  counts AND per-motif search counters byte-identical to a dedicated
+  :class:`MackeyMiner` run, for singleton families, the full Paranjape
+  grid, and generator graphs; plus sharing-stats arithmetic, chunked
+  ``mine_range`` merging, and cancellation.
+"""
+
+import pytest
+
+from repro.comine import CoMiner, FamilyResult, MotifTrie, SharingStats, co_count
+from repro.graph.generators import make_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining.mackey import MackeyMiner
+from repro.mining.multi import count_motif_family, grid_family_census
+from repro.mining.parallel import MiningCancelled
+from repro.motifs.catalog import (
+    EVALUATION_MOTIFS,
+    EXTRA_MOTIFS,
+    M1,
+    M2,
+    PATH3,
+    PING_PONG,
+)
+from repro.motifs.grid import paranjape_grid
+from repro.motifs.motif import Motif
+
+GRID_MOTIFS = [m for _, m in sorted(paranjape_grid().items())]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_dataset("email-eu", scale=0.03, seed=7)
+
+
+@pytest.fixture(scope="module")
+def delta(graph):
+    return max(1, graph.time_span // 20)
+
+
+class TestTrieConstruction:
+    def test_empty_family_raises(self):
+        with pytest.raises(ValueError):
+            MotifTrie([])
+
+    def test_singleton_trie_is_a_path(self):
+        trie = MotifTrie([M1])
+        assert trie.family_size == 1
+        assert trie.num_nodes == M1.num_edges
+        assert trie.shared_nodes == 0
+        assert trie.max_depth == M1.num_edges
+        path = trie.path(0)
+        assert [n.depth for n in path] == [1, 2, 3]
+        assert path[-1].complete == [0]
+        assert all(n.complete == [] for n in path[:-1])
+
+    def test_shared_prefix_merging(self):
+        # M1, M2 and PATH3 all share their first two canonical edges
+        # ((0,1),(1,2)) and differ only in the third.  Unshared total =
+        # 3+3+3 = 9; merged: one depth-1 node + one depth-2 node +
+        # three depth-3 leaves = 5 nodes.
+        trie = MotifTrie([M1, M2, PATH3])
+        assert trie.unshared_node_count() == 9
+        assert trie.num_nodes == 5
+        assert trie.shared_nodes == 2  # the depth-1 and depth-2 prefix nodes
+        d1 = trie.first_edge_node
+        assert d1.edge == (0, 1)
+        assert d1.motifs_below == 3
+
+    def test_grid_trie_shape(self):
+        # 6 rows x 6 cols sharing row prefixes: 1 depth-1 node, 6
+        # depth-2 row nodes, 36 depth-3 leaves.
+        trie = MotifTrie(GRID_MOTIFS)
+        assert trie.num_nodes == 1 + 6 + 36
+        assert trie.unshared_node_count() == 36 * 3
+        assert trie.shared_nodes == 7
+        assert trie.max_depth == 3
+        leaves = [n for n in trie.nodes() if n.is_leaf]
+        assert len(leaves) == 36
+        assert sorted(i for n in leaves for i in n.complete) == list(range(36))
+
+    def test_construction_is_order_independent(self):
+        a = MotifTrie([M1, M2, PATH3, PING_PONG])
+        b = MotifTrie([PING_PONG, PATH3, M2, M1])
+        assert a.num_nodes == b.num_nodes
+        assert a.shared_nodes == b.shared_nodes
+        # Node structure (edge, depth) in dense-index order is identical;
+        # only the family indices in `complete` follow input order.
+        assert [(n.edge, n.depth) for n in a.nodes()] == [
+            (n.edge, n.depth) for n in b.nodes()
+        ]
+
+    def test_duplicate_motifs_share_one_completion_node(self):
+        trie = MotifTrie([M1, M1])
+        assert trie.num_nodes == M1.num_edges
+        assert trie.path(0)[-1].complete == [0, 1]
+
+    def test_path_and_index_consistency(self):
+        trie = MotifTrie(GRID_MOTIFS)
+        nodes = trie.nodes()
+        for i in range(trie.family_size):
+            for node in trie.path(i):
+                assert nodes[node.index] is node
+
+    def test_render_lists_every_motif_once(self):
+        text = MotifTrie([M1, M2]).render()
+        assert M1.name in text and M2.name in text
+
+
+class TestEngineParity:
+    def test_singleton_family_equals_plain_miner(self, graph, delta):
+        for motif in EVALUATION_MOTIFS + EXTRA_MOTIFS:
+            solo = MackeyMiner(graph, motif, delta).mine()
+            fam = CoMiner(graph, [motif], delta).mine()
+            assert fam.counts[0] == solo.count, motif.name
+            assert (
+                fam.per_motif[0].as_dict() == solo.counters.as_dict()
+            ), motif.name
+            # A family of one shares nothing.
+            assert fam.sharing.traversals_saved == 0
+            assert fam.counters.as_dict() == solo.counters.as_dict()
+
+    def test_grid_family_counts_and_counters(self, graph, delta):
+        result = CoMiner(graph, GRID_MOTIFS, delta).mine()
+        assert sum(result.counts) > 0
+        for i, motif in enumerate(GRID_MOTIFS):
+            solo = MackeyMiner(graph, motif, delta).mine()
+            assert result.counts[i] == solo.count, motif.name
+            assert (
+                result.per_motif[i].as_dict() == solo.counters.as_dict()
+            ), motif.name
+
+    def test_sharing_stats_account_for_saved_work(self, graph, delta):
+        result = CoMiner(graph, GRID_MOTIFS, delta).mine()
+        s = result.sharing
+        assert s.searches_unshared > s.searches
+        assert s.candidates_unshared > s.candidates_scanned
+        assert 0.0 < s.prefix_hit_ratio < 1.0
+        assert s.traversal_sharing > 1.0
+        assert s.searches_saved == s.searches_unshared - s.searches
+        assert (
+            s.traversals_saved == s.candidates_unshared - s.candidates_scanned
+        )
+        # The family aggregate is exactly the sum of what was performed.
+        assert s.candidates_scanned == result.counters.candidates_scanned
+
+    def test_mine_range_chunks_merge_to_full_run(self, graph, delta):
+        miner = CoMiner(graph, [M1, M2, PATH3], delta)
+        full = miner.mine()
+        m = graph.num_edges
+        acc = FamilyResult.empty(miner.trie)
+        step = max(1, m // 7)
+        for lo in range(0, m, step):
+            acc.merge(miner.mine_range(lo, lo + step))
+        assert acc.counts == full.counts
+        assert acc.counters.as_dict() == full.counters.as_dict()
+        assert [c.as_dict() for c in acc.per_motif] == [
+            c.as_dict() for c in full.per_motif
+        ]
+        assert acc.sharing.as_dict() == full.sharing.as_dict()
+
+    def test_payload_round_trip(self, graph, delta):
+        full = CoMiner(graph, [M1, PING_PONG], delta).mine()
+        again = FamilyResult.from_payload(full.as_payload())
+        assert again.counts == full.counts
+        assert again.sharing.as_dict() == full.sharing.as_dict()
+        assert again.counters.as_dict() == full.counters.as_dict()
+
+    def test_sharing_merge_rejects_different_families(self):
+        a = SharingStats(2, 4, 6, 1, 3)
+        b = SharingStats(3, 5, 9, 2, 3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_cancel_check_raises(self, graph, delta):
+        miner = CoMiner(
+            graph, GRID_MOTIFS, delta, cancel_check=lambda: True
+        )
+        with pytest.raises(MiningCancelled):
+            miner.mine()
+
+    def test_rejects_bad_arguments(self, graph):
+        with pytest.raises(ValueError):
+            CoMiner(graph, [M1], -1)
+        with pytest.raises(ValueError):
+            CoMiner(graph, [], 10)
+        with pytest.raises(ValueError):
+            CoMiner(graph, [M1], 10, cancel_stride=0)
+
+    def test_empty_graph(self):
+        g = TemporalGraph([], num_nodes=2)
+        result = CoMiner(g, [M1, M2], 10).mine()
+        assert result.counts == [0, 0]
+        # Structural sharing is still reported on an empty workload.
+        assert result.sharing.prefix_hit_ratio > 0
+
+    def test_co_count_convenience(self, graph, delta):
+        counts = co_count(graph, [M1, M2], delta)
+        assert counts == {
+            M1.name: MackeyMiner(graph, M1, delta).mine().count,
+            M2.name: MackeyMiner(graph, M2, delta).mine().count,
+        }
+
+    def test_disconnected_motif_family(self, graph):
+        # Neither-endpoint-mapped scans (edge-list tail) must also be
+        # charged identically to the dedicated miner.
+        disconnected = Motif.from_labels(
+            [("A", "B"), ("C", "D")], name="two-islands"
+        )
+        delta = max(1, graph.time_span // 50)
+        solo = MackeyMiner(graph, disconnected, delta).mine()
+        fam = CoMiner(graph, [disconnected, M1], delta).mine()
+        assert fam.counts[0] == solo.count
+        assert fam.per_motif[0].as_dict() == solo.counters.as_dict()
+
+
+class TestCensusEngine:
+    def test_census_engines_agree(self, graph, delta):
+        mackey = grid_family_census(graph, delta, engine="mackey")
+        comine = grid_family_census(graph, delta, engine="comine")
+        assert comine.engine == "comine"
+        assert comine.counts == mackey.counts
+        assert {k: v.as_dict() for k, v in comine.per_motif.items()} == {
+            k: v.as_dict() for k, v in mackey.per_motif.items()
+        }
+        assert comine.sharing is not None
+        assert mackey.sharing is None
+        # The co-mining census does strictly less search work.
+        assert (
+            comine.counters.candidates_scanned
+            < mackey.counters.candidates_scanned
+        )
+
+    def test_count_motif_family_validates_arguments(self, graph):
+        with pytest.raises(ValueError):
+            count_motif_family(graph, [], 10)
+        with pytest.raises(ValueError):
+            count_motif_family(graph, [M1], 10, engine="quantum")
+        with pytest.raises(ValueError):
+            count_motif_family(graph, [M1], 10, engine="comine", memoize=True)
+
+    def test_distribution_fails_loud_on_zero_total(self):
+        g = TemporalGraph([], num_nodes=2)
+        census = count_motif_family(g, [M1, M2], 10)
+        assert census.total() == 0
+        with pytest.raises(ValueError):
+            census.distribution()

@@ -141,8 +141,8 @@ class TestDeltaBoundary:
     """Shared δ-boundary adversarial cases (``delta_cases.py``): matches
     spanning exactly δ (inclusive ``t_l - t_1 <= δ``, §II-A), duplicate
     timestamps at the window edge, and self-loop-free invariants —
-    asserted identically against mackey, bruteforce, taskcentric, and
-    streaming."""
+    asserted identically against mackey, bruteforce, taskcentric,
+    streaming, and the shared-traversal co-miner."""
 
     @pytest.mark.parametrize("backend", sorted(COUNT_BACKENDS))
     @pytest.mark.parametrize(
@@ -186,3 +186,42 @@ class TestDeltaBoundary:
             assert count(laced_graph, motif, 2 * delta) == base, (
                 f"{backend} count changed when self-loops were laced in"
             )
+
+
+class TestCoMiningFamilies:
+    """The shared-traversal co-miner against the per-motif loop, as a
+    *family*: one traversal must reproduce not only every motif's count
+    but its exact per-motif search counters (the engine's byte-parity
+    contract)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy, delta_strategy)
+    def test_family_counts_and_counters_equal_dedicated_miners(
+        self, g, delta
+    ):
+        from repro.comine import CoMiner
+
+        result = CoMiner(g, MOTIFS, delta).mine()
+        for i, motif in enumerate(MOTIFS):
+            solo = MackeyMiner(g, motif, delta).mine()
+            assert result.counts[i] == solo.count, motif.name
+            assert (
+                result.per_motif[i].as_dict() == solo.counters.as_dict()
+            ), motif.name
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy, delta_strategy, st.permutations(range(4)))
+    def test_family_order_does_not_change_results(self, g, delta, order):
+        from repro.comine import CoMiner
+
+        base = CoMiner(g, MOTIFS, delta).mine()
+        permuted = CoMiner(g, [MOTIFS[i] for i in order], delta).mine()
+        for pos, i in enumerate(order):
+            assert permuted.counts[pos] == base.counts[i]
+            assert (
+                permuted.per_motif[pos].as_dict()
+                == base.per_motif[i].as_dict()
+            )
+        assert (
+            permuted.counters.as_dict() == base.counters.as_dict()
+        )

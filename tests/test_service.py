@@ -403,6 +403,24 @@ class TestPoolExecutor:
 
         calls = iter([False, True])
         with pytest.raises(MiningCancelled):
-            InlineExecutor().count_batch(
+            InlineExecutor(comine=False).count_batch(
                 tiny_graph, [M1, M2], 100, lambda: next(calls)
             )
+
+    def test_inline_executor_comine_cancel(self, tiny_graph):
+        from repro.mining.parallel import MiningCancelled
+        from repro.service import InlineExecutor
+
+        with pytest.raises(MiningCancelled):
+            InlineExecutor().count_batch(
+                tiny_graph, [M1, M2], 100, lambda: True
+            )
+
+    def test_inline_executor_comine_matches_per_motif(self, tiny_graph):
+        from repro.service import InlineExecutor
+
+        comined = InlineExecutor().count_batch(tiny_graph, [M1, M2], 100)
+        looped = InlineExecutor(comine=False).count_batch(
+            tiny_graph, [M1, M2], 100
+        )
+        assert comined == looped
