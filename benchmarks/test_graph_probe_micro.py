@@ -1,0 +1,96 @@
+"""Micro-benchmark for the CSR probe hot path (`first_out_after`).
+
+The probes used to run `bisect.bisect_right` over the numpy
+`out_edge_idx`/`in_edge_idx` slices: every bisection step crossed the
+numpy→Python boundary (a scalar `__getitem__` materializing a numpy
+scalar object, then a Python rich comparison).  The fix routes the
+probe through one `np.searchsorted` call on the CSR slice, which walks
+the buffer entirely in C.
+
+Two checks:
+
+- **Boundary-crossing assertion** (deterministic, not timing-based):
+  an instrumented ndarray subclass counts Python-level *scalar*
+  `__getitem__` calls during a probe.  The old implementation performed
+  ~log2(degree) per probe; the fixed one must perform **zero** (its one
+  slice-indexing call is not a per-step crossing and is counted
+  separately).
+- **Throughput table**: probes/second for the searchsorted path vs. an
+  inline `bisect` reference on the same slices, saved to
+  ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+
+import numpy as np
+
+from repro.graph.generators import make_dataset
+
+
+class _CountingArray(np.ndarray):
+    """ndarray view that counts Python-level scalar item accesses."""
+
+    scalar_getitems = 0
+
+    def __getitem__(self, key):
+        if not isinstance(key, slice):
+            type(self).scalar_getitems += 1
+        return super().__getitem__(key)
+
+
+def _instrument(graph):
+    graph.out_edge_idx = graph.out_edge_idx.view(_CountingArray)
+    graph.in_edge_idx = graph.in_edge_idx.view(_CountingArray)
+
+
+def test_probe_crosses_no_numpy_python_boundary():
+    graph = make_dataset("email-eu", scale=0.05, seed=9)
+    _instrument(graph)
+    hubs = np.argsort(np.diff(graph.out_offsets))[-50:]
+
+    _CountingArray.scalar_getitems = 0
+    for u in hubs:
+        for probe in (0, graph.num_edges // 2, graph.num_edges):
+            graph.first_out_after(int(u), probe)
+            graph.first_in_after(int(u), probe)
+    # np.searchsorted bisects inside the C buffer: zero scalar
+    # materializations, no matter the degree.  (The old bisect.bisect
+    # path counted hundreds here.)
+    assert _CountingArray.scalar_getitems == 0
+
+
+def test_probe_throughput(save_result):
+    graph = make_dataset("superuser", scale=0.05, seed=9)
+    rng = np.random.default_rng(1)
+    nodes = rng.integers(0, graph.num_nodes, 4000)
+    probes = rng.integers(0, graph.num_edges, 4000)
+
+    t0 = time.perf_counter()
+    for u, e in zip(nodes, probes):
+        graph.first_out_after(int(u), int(e))
+    fast_s = time.perf_counter() - t0
+
+    # Reference: the historical per-probe Python bisect over the same
+    # numpy slices (object comparisons per step).
+    out_idx, offs = graph.out_edge_idx, graph.out_offsets
+    t0 = time.perf_counter()
+    for u, e in zip(nodes, probes):
+        lo, hi = offs[int(u)], offs[int(u) + 1]
+        bisect_right(out_idx[lo:hi], int(e))
+    bisect_s = time.perf_counter() - t0
+
+    n = len(nodes)
+    save_result(
+        "graph_probe_micro",
+        f"superuser x0.05 ({graph.num_edges} edges), {n} probes:\n"
+        f"  np.searchsorted  {fast_s:.4f}s  ({n / fast_s:,.0f} probes/s)\n"
+        f"  bisect reference {bisect_s:.4f}s  ({n / bisect_s:,.0f} probes/s)\n"
+        f"  ratio {bisect_s / fast_s:.2f}x",
+    )
+    # Not a strict speed assertion (both are fast at this scale) — the
+    # hard guarantee is the zero-crossing test above; this just keeps
+    # the hot path from regressing to something pathological.
+    assert fast_s < bisect_s * 5

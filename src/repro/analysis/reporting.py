@@ -88,10 +88,20 @@ def format_sharing_stats(sharing) -> str:
     Used by ``repro census --engine comine`` and the census benchmark to
     report how much traversal the family's prefix trie saved.
     """
-    return (
+    head = (
         f"shared traversal: {sharing.trie_nodes:,} trie nodes for "
         f"{sharing.family_size} motifs "
         f"({sharing.shared_nodes:,} shared, depth {sharing.max_depth}); "
+    )
+    if not sharing.populated:
+        # No measured work (empty workload / cancelled run): say so
+        # explicitly instead of passing the trie-shape ratio off as a
+        # measurement.
+        return head + (
+            f"no traversal measured (structural prefix ratio "
+            f"{sharing.structural_prefix_ratio:.3f})"
+        )
+    return head + (
         f"prefix-hit ratio {sharing.prefix_hit_ratio:.3f}, "
         f"{sharing.traversals_saved:,} candidate scans saved "
         f"({sharing.traversal_sharing:.2f}x sharing)"

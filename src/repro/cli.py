@@ -76,10 +76,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--engine",
-        choices=("mackey", "comine"),
+        choices=("mackey", "batched", "comine"),
         default="mackey",
-        help="mining engine: the dedicated serial miner, or the "
-        "shared-traversal co-miner (identical counts/counters; "
+        help="mining engine: the dedicated serial miner, the vectorized "
+        "batched frontier engine, or the shared-traversal co-miner "
+        "(all produce identical counts/counters; batched/comine are "
         "incompatible with --memoize and --show-matches)",
     )
 
@@ -102,11 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     census.add_argument(
         "--engine",
-        choices=("mackey", "comine"),
+        choices=("mackey", "batched", "comine"),
         default="mackey",
-        help="census engine: per-motif loop, or one shared co-mining "
-        "traversal for the whole grid (identical counts; reports "
-        "prefix-sharing stats)",
+        help="census engine: per-motif loop (scalar or vectorized "
+        "batched), or one shared co-mining traversal for the whole "
+        "grid (identical counts; comine reports prefix-sharing stats)",
     )
 
     simulate = sub.add_parser("simulate", help="run the Mint simulator")
@@ -286,15 +287,16 @@ def cmd_mine(args) -> int:
         print("error: --show-matches requires the serial text mode "
               "(--workers 0, no --json)")
         return 2
-    if getattr(args, "engine", "mackey") == "comine":
+    engine = getattr(args, "engine", "mackey")
+    if engine != "mackey":
         if args.memoize or args.show_matches > 0:
-            print("error: --engine comine is incompatible with "
+            print(f"error: --engine {engine} is incompatible with "
                   "--memoize and --show-matches")
             return 2
         from repro.mining.multi import count_motif_family
 
         census = count_motif_family(
-            graph, [motif], args.delta, engine="comine", num_workers=workers
+            graph, [motif], args.delta, engine=engine, num_workers=workers
         )
         count = census.counts[motif.name]
         counters = census.per_motif[motif.name]
@@ -305,7 +307,7 @@ def cmd_mine(args) -> int:
         print(
             f"  candidates examined: {counters.candidates_scanned:,}  "
             f"searches: {counters.searches:,}  "
-            f"bookkeeps: {counters.bookkeeps:,}  [comine]"
+            f"bookkeeps: {counters.bookkeeps:,}  [{engine}]"
         )
         return 0
     if workers > 0:

@@ -36,6 +36,7 @@ from math import ceil, log2
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.mining.mackey import EDGE_RECORD_BYTES, INDEX_BYTES
 from repro.mining.parallel import MiningCancelled
 from repro.mining.results import SearchCounters
@@ -74,18 +75,45 @@ class SharingStats:
                       "candidates_unshared", "bytes_touched", "bytes_unshared")
 
     @property
-    def prefix_hit_ratio(self) -> float:
-        """Fraction of per-motif scan work served from a shared prefix.
+    def populated(self) -> bool:
+        """True once traversal counters carry measured work.
 
-        Dynamic when any scanning happened (1 - performed/unshared);
-        falls back to the structural trie ratio on an empty workload so
-        the family's shape is still reported.
+        Chunk stats over rootless ranges, cancelled runs, and empty
+        graphs never populate the dynamic fields; their measured ratios
+        are undefined (the structural trie shape is still available via
+        :attr:`structural_prefix_ratio`).
         """
-        if self.searches_unshared > 0:
-            return 1.0 - self.searches / self.searches_unshared
+        return self.searches_unshared > 0
+
+    @property
+    def structural_prefix_ratio(self) -> float:
+        """Trie-shape sharing ratio — what the family *could* share.
+
+        A property of the motif family alone (1 - trie nodes / per-motif
+        path nodes), defined whether or not any mining ran.
+        """
         if self.unshared_nodes > 0:
             return 1.0 - self.trie_nodes / self.unshared_nodes
         return 0.0
+
+    @property
+    def prefix_hit_ratio(self) -> float:
+        """Fraction of per-motif scan work served from a shared prefix.
+
+        Raises :class:`ValueError` when no traversal work was measured
+        (cancelled run, empty workload): silently substituting the
+        structural trie ratio historically let unmeasured runs
+        masquerade as measured speedups.  Use
+        :attr:`structural_prefix_ratio` for the shape-only figure and
+        :attr:`populated` to test first.
+        """
+        if not self.populated:
+            raise ValueError(
+                "prefix_hit_ratio is undefined: no traversal work was "
+                "measured (searches_unshared == 0); use "
+                "structural_prefix_ratio for the trie-shape ratio"
+            )
+        return 1.0 - self.searches / self.searches_unshared
 
     @property
     def searches_saved(self) -> int:
@@ -98,7 +126,16 @@ class SharingStats:
 
     @property
     def traversal_sharing(self) -> float:
-        """Per-motif-loop scan volume over actual scan volume (>= 1)."""
+        """Per-motif-loop scan volume over actual scan volume (>= 1).
+
+        Like :attr:`prefix_hit_ratio`, undefined (raises
+        :class:`ValueError`) until the counters carry measured work.
+        """
+        if not self.populated:
+            raise ValueError(
+                "traversal_sharing is undefined: no traversal work was "
+                "measured (searches_unshared == 0)"
+            )
         if self.candidates_scanned > 0:
             return self.candidates_unshared / self.candidates_scanned
         return 1.0
@@ -118,10 +155,15 @@ class SharingStats:
             name: getattr(self, name)
             for name in self.STATIC_FIELDS + self.DYNAMIC_FIELDS
         }
-        d["prefix_hit_ratio"] = self.prefix_hit_ratio
+        d["structural_prefix_ratio"] = self.structural_prefix_ratio
         d["searches_saved"] = self.searches_saved
         d["traversals_saved"] = self.traversals_saved
-        d["traversal_sharing"] = self.traversal_sharing
+        # Measured ratios only exist once work was measured; unmeasured
+        # chunks (rootless ranges) still serialize fine — from_dict
+        # rebuilds from the raw fields alone.
+        if self.populated:
+            d["prefix_hit_ratio"] = self.prefix_hit_ratio
+            d["traversal_sharing"] = self.traversal_sharing
         return d
 
     @classmethod
@@ -278,7 +320,7 @@ class CoMiner:
             for i in complete_1:
                 counts[i] += 1
             if has_children:
-                self._recurse(d1, e0, ts[e0] + delta)
+                self._recurse(d1, e0, window_t_limit(ts[e0], delta))
             del g2m[s]
             del g2m[d]
             m2g[0] = -1

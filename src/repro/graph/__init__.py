@@ -1,6 +1,11 @@
 """Temporal graph substrate: data structures, loaders, generators, stats."""
 
-from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
+from repro.graph.temporal_graph import (
+    TemporalEdge,
+    TemporalGraph,
+    segmented_searchsorted,
+)
+from repro.graph.window import in_delta_window, window_horizon, window_t_limit
 from repro.graph.loaders import load_snap_text, save_snap_text
 from repro.graph.generators import (
     DATASET_NAMES,
@@ -23,6 +28,10 @@ from repro.graph.transforms import (
 __all__ = [
     "TemporalEdge",
     "TemporalGraph",
+    "segmented_searchsorted",
+    "in_delta_window",
+    "window_horizon",
+    "window_t_limit",
     "load_snap_text",
     "save_snap_text",
     "DATASET_NAMES",

@@ -16,12 +16,43 @@ The paper's algorithm operates on two structures:
 
 from __future__ import annotations
 
-import bisect
 import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
+
+
+def segmented_searchsorted(
+    values: np.ndarray,
+    seg_lo: np.ndarray,
+    seg_hi: np.ndarray,
+    needles: np.ndarray,
+) -> np.ndarray:
+    """Right-bisect many sorted segments of one array at once.
+
+    Returns, for each row ``i``, the insertion point of ``needles[i]``
+    in the sorted slice ``values[seg_lo[i]:seg_hi[i]]`` (side="right"),
+    as an **absolute** index into ``values``.  This is the software
+    analogue of Mint's phase-1 stream unit: one vectorized bisection
+    over a whole frontier of (node-slice, needle) pairs, instead of one
+    Python ``bisect``/``searchsorted`` call per partial match.  Runs
+    ``O(log max_segment)`` numpy passes over the row arrays.
+    """
+    lo = np.asarray(seg_lo, dtype=np.int64).copy()
+    hi = np.asarray(seg_hi, dtype=np.int64).copy()
+    needles = np.asarray(needles)
+    if len(values) == 0 or len(lo) == 0:
+        return lo
+    while True:
+        active = lo < hi
+        if not active.any():
+            return lo
+        mid = (lo + hi) >> 1
+        probe = values[np.where(active, mid, 0)]
+        go_right = active & (probe <= needles)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
 
 
 @dataclass(frozen=True)
@@ -335,23 +366,75 @@ class TemporalGraph:
     def in_degree(self, v: int) -> int:
         return int(self.in_offsets[v + 1] - self.in_offsets[v])
 
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(
+                f"node id {node} out of range (num_nodes={self._num_nodes})"
+            )
+
     def first_out_after(self, u: int, edge_index: int) -> int:
         """Position within ``out_edges(u)`` of the first edge index ``> edge_index``.
 
         This is the binary search the software baseline performs at the
         start of every phase-1 filter (Algorithm 1 lines 31/33; §VI-A
         notes software uses binary search where Mint's hardware streams
-        linearly).
+        linearly).  The probe runs entirely inside numpy
+        (``np.searchsorted`` on the CSR slice): ``bisect`` over a numpy
+        array would box one scalar per comparison, turning every probe
+        into O(log d) numpy→Python crossings.  Raises :class:`ValueError`
+        for out-of-range node ids rather than a bare ``IndexError`` from
+        the offsets array.
         """
-        lo, hi = int(self.out_offsets[u]), int(self.out_offsets[u + 1])
-        pos = bisect.bisect_right(self.out_edge_idx, edge_index, lo, hi)
-        return pos - lo
+        self._check_node(u)
+        lo, hi = self.out_offsets[u], self.out_offsets[u + 1]
+        return int(
+            np.searchsorted(self.out_edge_idx[lo:hi], edge_index, side="right")
+        )
 
     def first_in_after(self, v: int, edge_index: int) -> int:
         """Position within ``in_edges(v)`` of the first edge index ``> edge_index``."""
-        lo, hi = int(self.in_offsets[v]), int(self.in_offsets[v + 1])
-        pos = bisect.bisect_right(self.in_edge_idx, edge_index, lo, hi)
-        return pos - lo
+        self._check_node(v)
+        lo, hi = self.in_offsets[v], self.in_offsets[v + 1]
+        return int(
+            np.searchsorted(self.in_edge_idx[lo:hi], edge_index, side="right")
+        )
+
+    # -- vectorized slice helpers (batched frontier engine) ----------------------
+
+    @property
+    def out_ts(self) -> np.ndarray:
+        """Timestamps aligned with ``out_edge_idx`` (sorted within each
+        node's slice, since per-node edge indices are chronological).
+
+        The batched engine binary-searches these slices directly —
+        ``ts[out_edge_idx[lo:hi]]`` gathered once per graph instead of
+        once per probe.  Cached on the graph.
+        """
+        cached = getattr(self, "_out_ts", None)
+        if cached is None:
+            cached = self.ts[self.out_edge_idx]
+            self._out_ts = cached
+        return cached
+
+    @property
+    def in_ts(self) -> np.ndarray:
+        """Timestamps aligned with ``in_edge_idx`` (see :attr:`out_ts`)."""
+        cached = getattr(self, "_in_ts", None)
+        if cached is None:
+            cached = self.ts[self.in_edge_idx]
+            self._in_ts = cached
+        return cached
+
+    def out_slices(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR ``(lo, hi)`` bounds of ``out_edge_idx`` for a whole array
+        of node ids at once (one fancy-index, no per-node Python)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.out_offsets[nodes], self.out_offsets[nodes + 1]
+
+    def in_slices(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR ``(lo, hi)`` bounds of ``in_edge_idx`` per node id."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.in_offsets[nodes], self.in_offsets[nodes + 1]
 
     # -- projections -------------------------------------------------------------
 

@@ -3,6 +3,10 @@
 - :mod:`repro.mining.mackey` — the Mackey et al. exact chronological
   edge-driven DFS miner (paper Algorithm 1), with optional search index
   memoization (§VI-A) for the "CPU w/ memoization" baseline.
+- :mod:`repro.mining.batched` — the vectorized frontier-expansion
+  engine: byte-identical counts/counters to the Mackey miner with the
+  per-candidate Python loop replaced by batched numpy scans (the
+  software analogue of Mint's stream unit).
 - :mod:`repro.mining.bruteforce` — an exhaustive oracle used as ground
   truth in tests.
 - :mod:`repro.mining.taskcentric` — the paper's task-centric programming
@@ -19,6 +23,7 @@ from repro.mining.results import Match, MiningResult, SearchCounters
 from repro.mining.context import MiningContext
 from repro.mining.bruteforce import brute_force_count, brute_force_matches
 from repro.mining.mackey import MackeyMiner, count_motifs
+from repro.mining.batched import BatchedMiner, count_motifs_batched
 from repro.mining.taskcentric import TaskCentricMiner, TaskType
 from repro.mining.static_mining import StaticPatternMiner
 from repro.mining.paranjape import ParanjapeMiner
@@ -48,6 +53,8 @@ __all__ = [
     "brute_force_matches",
     "MackeyMiner",
     "count_motifs",
+    "BatchedMiner",
+    "count_motifs_batched",
     "TaskCentricMiner",
     "TaskType",
     "StaticPatternMiner",

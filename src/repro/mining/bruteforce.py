@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.mining.results import Match
 from repro.motifs.motif import Motif
 
@@ -59,7 +60,7 @@ def brute_force_matches(
                 g2m[d] = v_m
                 new_nodes.append((v_m, d))
             seq.append(e)
-            next_limit = t + delta if level == 0 else t_limit
+            next_limit = window_t_limit(t, delta) if level == 0 else t_limit
             extend(level + 1, e + 1, next_limit, m2g, g2m, seq)
             seq.pop()
             for mn, gn in new_nodes:

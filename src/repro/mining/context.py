@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.motifs.motif import Motif
 
 
@@ -100,7 +101,7 @@ class MiningContext:
         self.e_count[src] = self.e_count.get(src, 0) + 1
         self.e_count[dst] = self.e_count.get(dst, 0) + 1
         if not self.e_stack:
-            self.t_limit = t + self.delta
+            self.t_limit = window_t_limit(t, self.delta)
         self.e_stack.append(edge_index)
 
     def backtrack(self, src: int, dst: int) -> int:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 
 
 @dataclass
@@ -68,7 +69,7 @@ class TemporalCycleMiner:
             a, b = src[e0], dst[e0]
             if a == b:
                 continue
-            t_limit = ts[e0] + self.delta
+            t_limit = window_t_limit(ts[e0], self.delta)
             yield from self._extend(
                 origin=a,
                 frontier=b,

@@ -31,6 +31,7 @@ from math import ceil, log2
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.mining.results import Match, MiningResult, SearchCounters
 from repro.motifs.motif import Motif
 
@@ -135,7 +136,7 @@ class MackeyMiner:
             if l == 1:
                 self._emit()
             else:
-                self._extend(1, e0, ts[e0] + self.delta)
+                self._extend(1, e0, window_t_limit(ts[e0], self.delta))
             self._seq.pop()
             del self._g2m[s]
             del self._g2m[d]

@@ -2,10 +2,14 @@
 
 Counting a whole family of motifs (e.g. the 36-motif grid used for
 temporal network fingerprinting, paper §II-B's "features built with
-temporal motif distributions") is a common workload.  Two engines:
+temporal motif distributions") is a common workload.  Three engines:
 
 - ``engine="mackey"`` — the exact miner once per motif (the historical
   per-motif loop);
+- ``engine="batched"`` — the vectorized frontier engine
+  (:mod:`repro.mining.batched`) once per motif: byte-identical counts
+  and counters, with the per-candidate Python loop replaced by numpy
+  frontier expansion (the fast path for large graphs);
 - ``engine="comine"`` — one shared traversal for the whole family via
   :class:`repro.comine.CoMiner`: the family's canonical prefix trie is
   walked once per root edge, so shared prefixes (every grid row shares
@@ -34,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.comine.engine import SharingStats
 
 #: Engines :func:`count_motif_family` accepts.
-CENSUS_ENGINES = ("mackey", "comine")
+CENSUS_ENGINES = ("mackey", "batched", "comine")
 
 
 @dataclass
@@ -102,10 +106,11 @@ def count_motif_family(
         raise ValueError(
             f"unknown census engine {engine!r}; expected one of {CENSUS_ENGINES}"
         )
-    if engine == "comine" and memoize:
+    if engine != "mackey" and memoize:
         raise ValueError(
-            "memoize is a MackeyMiner cost-model knob; the co-mining "
-            "engine does not support it (counts would be identical anyway)"
+            "memoize is a MackeyMiner cost-model knob; the "
+            f"{engine!r} engine does not support it (counts would be "
+            "identical anyway)"
         )
     if num_workers > 0 and graph.num_edges > 0:
         return _count_family_parallel(
@@ -128,8 +133,16 @@ def count_motif_family(
     counts: Dict[str, int] = {}
     per_motif: Dict[str, SearchCounters] = {}
     counters = SearchCounters()
+    if engine == "batched":
+        from repro.mining.batched import BatchedMiner
+
+        make_miner = lambda m: BatchedMiner(graph, m, delta)  # noqa: E731
+    else:
+        make_miner = lambda m: MackeyMiner(  # noqa: E731
+            graph, m, delta, memoize=memoize
+        )
     for motif in motifs:
-        result = MackeyMiner(graph, motif, delta, memoize=memoize).mine()
+        result = make_miner(motif).mine()
         counts[motif.name] = result.count
         per_motif[motif.name] = result.counters
         counters.merge(result.counters)
@@ -138,7 +151,7 @@ def count_motif_family(
         counts=counts,
         counters=counters,
         per_motif=per_motif,
-        engine="mackey",
+        engine=engine,
     )
 
 
@@ -170,7 +183,9 @@ def _count_family_parallel(
                 engine="comine",
                 sharing=fam.sharing,
             )
-        results = pool.count_many(list(motifs), delta, chunks_per_worker)
+        results = pool.count_many(
+            list(motifs), delta, chunks_per_worker, engine=engine
+        )
     counts = {m.name: r.count for m, r in zip(motifs, results)}
     per_motif = {m.name: r.counters for m, r in zip(motifs, results)}
     counters = SearchCounters()
@@ -181,7 +196,7 @@ def _count_family_parallel(
         counts=counts,
         counters=counters,
         per_motif=per_motif,
-        engine="mackey",
+        engine=engine,
     )
 
 

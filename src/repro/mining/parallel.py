@@ -41,9 +41,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.mining.mackey import MackeyMiner
 from repro.mining.results import MiningResult, SearchCounters
 from repro.motifs.motif import Motif
+
+#: Engines a pool can run per root chunk.  Both are exact and produce
+#: byte-identical counts/counters; ``batched`` replaces the scalar DFS
+#: inner loop with vectorized frontier expansion
+#: (:mod:`repro.mining.batched`).
+POOL_ENGINES = ("mackey", "batched")
 
 try:  # pragma: no cover - always present on CPython >= 3.8
     from multiprocessing import shared_memory as _shm
@@ -121,6 +128,32 @@ def _mine_chunk(
     return result.count, result.counters.as_dict()
 
 
+def _batched_miner_for(motif_edges: Tuple[Tuple[int, int], ...], delta: int):
+    """Worker-resident :class:`~repro.mining.batched.BatchedMiner`.
+
+    Like :func:`_miner_for`, built once per (motif, delta) and reused
+    across that motif's chunks (the level plan is precomputed once).
+    """
+    from repro.mining.batched import BatchedMiner  # lazy: avoids an import cycle
+
+    miners: dict = _WORKER_STATE.setdefault("batched_miners", {})
+    key = (motif_edges, delta)
+    miner = miners.get(key)
+    if miner is None:
+        miner = BatchedMiner(_WORKER_STATE["graph"], Motif(motif_edges), delta)
+        miners[key] = miner
+    return miner
+
+
+def _mine_batched_chunk(
+    task: Tuple[Tuple[Tuple[int, int], ...], int, int, int]
+) -> Tuple[int, dict]:
+    """Chunk body of :func:`_mine_chunk` on the batched frontier engine."""
+    motif_edges, delta, lo, hi = task
+    result = _batched_miner_for(motif_edges, delta).mine_range(lo, hi)
+    return result.count, result.counters.as_dict()
+
+
 def _cominer_for(family_edges: Tuple[Tuple[Tuple[int, int], ...], ...], delta: int):
     """Worker-resident :class:`~repro.comine.engine.CoMiner` per family.
 
@@ -183,7 +216,7 @@ class _RangeMiner(MackeyMiner):
             if l == 1:
                 self._emit()
             else:
-                self._extend(1, e0, ts[e0] + self.delta)
+                self._extend(1, e0, window_t_limit(ts[e0], self.delta))
             self._seq.pop()
             del self._g2m[s]
             del self._g2m[d]
@@ -362,9 +395,12 @@ class MiningPool:
         delta: int,
         chunks_per_worker: int = 8,
         cancel_check: Optional[Callable[[], bool]] = None,
+        engine: str = "mackey",
     ) -> ParallelResult:
         """Exactly count one motif; results identical to :class:`MackeyMiner`."""
-        return self.count_many([motif], delta, chunks_per_worker, cancel_check)[0]
+        return self.count_many(
+            [motif], delta, chunks_per_worker, cancel_check, engine=engine
+        )[0]
 
     def count_many(
         self,
@@ -372,6 +408,7 @@ class MiningPool:
         delta: int,
         chunks_per_worker: int = 8,
         cancel_check: Optional[Callable[[], bool]] = None,
+        engine: str = "mackey",
     ) -> List[ParallelResult]:
         """Count several motifs in one dispatch wave.
 
@@ -383,9 +420,15 @@ class MiningPool:
         layer's deadline hook): when it returns True, dispatch stops,
         in-flight chunks are drained, and :class:`MiningCancelled` is
         raised — the pool stays alive and reusable for the next call.
+
+        ``engine`` picks the per-chunk core (:data:`POOL_ENGINES`);
+        counts and counters are byte-identical either way.
         """
         if self._closed:
             raise RuntimeError("MiningPool is closed")
+        if engine not in POOL_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {POOL_ENGINES}")
+        chunk_fn = _mine_batched_chunk if engine == "batched" else _mine_chunk
         m = self.graph.num_edges
         totals = [0] * len(motifs)
         merged = [SearchCounters() for _ in motifs]
@@ -414,7 +457,7 @@ class MiningPool:
             except StopIteration:
                 return
             try:
-                fut = self._pool.submit(_mine_chunk, (edges, d, lo, hi))
+                fut = self._pool.submit(chunk_fn, (edges, d, lo, hi))
             except BrokenProcessPool:
                 self._broken = True
                 raise
@@ -543,6 +586,7 @@ def count_motifs_parallel(
     delta: int,
     num_workers: Optional[int] = None,
     chunks_per_worker: int = 8,
+    engine: str = "mackey",
 ) -> ParallelResult:
     """Exactly count ``motif`` using a pool of worker processes.
 
@@ -551,10 +595,17 @@ def count_motifs_parallel(
     defaults to the machine's CPU count; ``num_workers=0`` runs inline
     (useful for tests and small graphs, where process startup dominates).
     """
+    if engine not in POOL_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {POOL_ENGINES}")
     if num_workers is None:
         num_workers = os.cpu_count() or 1
     if num_workers <= 0 or graph.num_edges == 0:
-        result = MackeyMiner(graph, motif, delta).mine()
+        if engine == "batched":
+            from repro.mining.batched import BatchedMiner
+
+            result = BatchedMiner(graph, motif, delta).mine()
+        else:
+            result = MackeyMiner(graph, motif, delta).mine()
         return ParallelResult(result.count, result.counters, 0, 1)
     with MiningPool(graph, num_workers) as pool:
-        return pool.count(motif, delta, chunks_per_worker)
+        return pool.count(motif, delta, chunks_per_worker, engine=engine)

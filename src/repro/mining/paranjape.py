@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.mining.results import MiningResult, SearchCounters
 from repro.mining.static_mining import StaticPatternMiner
 from repro.motifs.motif import Motif
@@ -149,7 +150,7 @@ class ParanjapeMiner:
             if 0 not in slots_first:
                 continue
             self.counters.dp_first_edge_anchors += 1
-            t_limit = int(ts[e_first]) + self.delta
+            t_limit = window_t_limit(int(ts[e_first]), self.delta)
             dp = [0] * l
             dp[0] = 1
             for g in range(f + 1, n):

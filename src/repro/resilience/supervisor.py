@@ -61,7 +61,9 @@ from repro.mining.parallel import (
     GraphShipment,
     MiningCancelled,
     ParallelResult,
+    POOL_ENGINES,
     _guided_bounds,
+    _mine_batched_chunk,
     _mine_chunk,
     _mine_family_chunk,
 )
@@ -174,6 +176,8 @@ def _supervised_worker(  # pragma: no cover - runs in spawned workers only
             if kind == "family":
                 # One shared co-mining traversal for the whole family.
                 result = _mine_family_chunk((spec, delta, lo, hi))
+            elif kind == "batched":
+                result = _mine_batched_chunk((spec, delta, lo, hi))
             else:
                 result = _mine_chunk((spec, delta, lo, hi))
         except BaseException as exc:  # noqa: BLE001
@@ -387,9 +391,11 @@ class SupervisedMiningPool:
         chunks_per_worker: int = 8,
         cancel_check: Optional[Callable[[], bool]] = None,
         allow_degraded: bool = True,
+        engine: str = "mackey",
     ) -> ParallelResult:
         return self.count_many(
-            [motif], delta, chunks_per_worker, cancel_check, allow_degraded
+            [motif], delta, chunks_per_worker, cancel_check, allow_degraded,
+            engine=engine,
         )[0]
 
     def count_many(
@@ -399,6 +405,7 @@ class SupervisedMiningPool:
         chunks_per_worker: int = 8,
         cancel_check: Optional[Callable[[], bool]] = None,
         allow_degraded: bool = True,
+        engine: str = "mackey",
     ) -> List[ParallelResult]:
         """Count several motifs in one supervised dispatch wave.
 
@@ -417,10 +424,20 @@ class SupervisedMiningPool:
         mis-attribute or discard each other's chunks.  A caller whose
         ``cancel_check`` trips while waiting for its turn raises
         :class:`MiningCancelled` without ever touching the workers.
+
+        ``engine`` picks the per-chunk core: ``"batched"`` ships the
+        ``"batched"`` chunk kind (vectorized frontier expansion in the
+        worker), ``"mackey"`` the scalar DFS.  Chunks of either kind are
+        equally idempotent, so all retry semantics are unchanged.
         """
+        if engine not in POOL_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {POOL_ENGINES}"
+            )
         with self._serialized(cancel_check):
             return self._count_many_locked(
-                motifs, delta, chunks_per_worker, cancel_check, allow_degraded
+                motifs, delta, chunks_per_worker, cancel_check, allow_degraded,
+                engine,
             )
 
     def count_family(
@@ -455,6 +472,7 @@ class SupervisedMiningPool:
         chunks_per_worker: int,
         cancel_check: Optional[Callable[[], bool]],
         allow_degraded: bool,
+        engine: str = "mackey",
     ) -> List[ParallelResult]:
         m = self.graph.num_edges
         totals = [0] * len(motifs)
@@ -467,11 +485,12 @@ class SupervisedMiningPool:
             ]
 
         bounds = _guided_bounds(m, self.num_workers, chunks_per_worker)
+        kind = "batched" if engine == "batched" else "motif"
         specs: List[Tuple[str, Tuple, int, int, int]] = []
         owners: List[int] = []
         for i, motif in enumerate(motifs):
             for lo, hi in bounds:
-                specs.append(("motif", motif.edges, int(delta), lo, hi))
+                specs.append((kind, motif.edges, int(delta), lo, hi))
                 owners.append(i)
 
         def apply_result(task_id: int, result) -> None:

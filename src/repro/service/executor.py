@@ -49,7 +49,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.mackey import MackeyMiner
-from repro.mining.parallel import MiningCancelled, MiningPool
+from repro.mining.parallel import POOL_ENGINES, MiningCancelled, MiningPool
 from repro.motifs.motif import Motif
 from repro.resilience.breaker import CLOSED, CircuitBreaker
 from repro.resilience.faults import FaultPlan, fault_point
@@ -68,21 +68,31 @@ class InlineExecutor:
     per-motif loop — per-motif counts and counters are byte-identical
     (the co-miner's correctness contract), so cached payloads don't
     depend on how queries happened to batch.  Singleton batches always
-    use the plain miner (there is nothing to share).
+    use a per-motif miner (there is nothing to share); ``engine`` picks
+    which one — the scalar :class:`MackeyMiner` or the vectorized
+    :class:`~repro.mining.batched.BatchedMiner` (identical results, so
+    the knob is pure throughput).
     """
 
     # Class-level defaults so subclasses that skip __init__ (test fakes
     # wrapping count_batch) still mine correctly.
     comine = True
+    engine = "mackey"
     counters: Optional[ResilienceCounters] = None
 
     def __init__(
         self,
         comine: bool = True,
         counters: Optional[ResilienceCounters] = None,
+        engine: str = "mackey",
     ) -> None:
+        if engine not in POOL_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {POOL_ENGINES}"
+            )
         self.comine = bool(comine)
         self.counters = counters
+        self.engine = engine
 
     def count_batch(
         self,
@@ -107,7 +117,14 @@ class InlineExecutor:
         for motif in motifs:
             if cancel_check is not None and cancel_check():
                 raise MiningCancelled("batch cancelled between motifs")
-            result = MackeyMiner(graph, motif, delta).mine()
+            if self.engine == "batched":
+                from repro.mining.batched import BatchedMiner
+
+                result = BatchedMiner(
+                    graph, motif, delta, cancel_check=cancel_check
+                ).mine()
+            else:
+                result = MackeyMiner(graph, motif, delta).mine()
             out.append((result.count, result.counters.as_dict()))
         return out
 
@@ -131,7 +148,9 @@ class PoolExecutor:
     :class:`~repro.mining.parallel.MiningPool`.  ``fault_plan`` is
     shipped into supervised workers (chaos testing).  ``counters``
     shares a :class:`ResilienceCounters` with the scheduler so service
-    metrics see executor-side events.
+    metrics see executor-side events.  ``engine`` picks the per-chunk
+    mining core for non-comined batches (and for the inline fallback);
+    results are byte-identical either way.
     """
 
     def __init__(
@@ -147,11 +166,16 @@ class PoolExecutor:
         fault_plan: Optional[FaultPlan] = None,
         counters: Optional[ResilienceCounters] = None,
         comine: bool = True,
+        engine: str = "mackey",
     ) -> None:
         if num_workers < 1:
             raise ValueError("PoolExecutor needs at least one worker")
         if max_pools < 1:
             raise ValueError("max_pools must be positive")
+        if engine not in POOL_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {POOL_ENGINES}"
+            )
         self.num_workers = int(num_workers)
         self.max_pools = int(max_pools)
         self.supervised = bool(supervised)
@@ -162,7 +186,10 @@ class PoolExecutor:
         self.fault_plan = fault_plan
         self.counters = counters if counters is not None else ResilienceCounters()
         self.comine = bool(comine)
-        self._fallback = InlineExecutor(comine=self.comine, counters=self.counters)
+        self.engine = engine
+        self._fallback = InlineExecutor(
+            comine=self.comine, counters=self.counters, engine=self.engine
+        )
         self._lock = threading.Lock()
         #: fingerprint -> pool, most recently used last.
         self._pools: Dict[str, object] = {}
@@ -293,7 +320,8 @@ class PoolExecutor:
                 self.counters.inc("comined_batches")
             else:
                 results = pool.count_many(
-                    list(motifs), delta, cancel_check=cancel_check
+                    list(motifs), delta, cancel_check=cancel_check,
+                    engine=self.engine,
                 )
         except MiningCancelled:
             # A deadline is not a backend failure; don't punish the pool

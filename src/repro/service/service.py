@@ -66,6 +66,7 @@ class MotifService:
         cache_bytes: int = 64 * 1024 * 1024,
         max_idle_graphs: int = 4,
         executor=None,
+        engine: str = "mackey",
     ) -> None:
         self.registry = GraphRegistry(max_idle=max_idle_graphs)
         self.cache = ResultCache(max_bytes=cache_bytes)
@@ -78,9 +79,13 @@ class MotifService:
                 getattr(executor, "counters", None) or self.resilience
             )
         elif num_workers > 0:
-            self.executor = PoolExecutor(num_workers, counters=self.resilience)
+            self.executor = PoolExecutor(
+                num_workers, counters=self.resilience, engine=engine
+            )
         else:
-            self.executor = InlineExecutor(counters=self.resilience)
+            self.executor = InlineExecutor(
+                counters=self.resilience, engine=engine
+            )
         self.scheduler = QueryScheduler(
             self.registry,
             self.cache,

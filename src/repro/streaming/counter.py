@@ -37,6 +37,7 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_t_limit
 from repro.motifs.catalog import EVALUATION_MOTIFS, EXTRA_MOTIFS
 from repro.motifs.grid import paranjape_grid
 from repro.motifs.motif import Motif
@@ -200,7 +201,7 @@ class MotifStreamEngine:
                 spawned.append(
                     PartialMatch(
                         1,
-                        t + self.delta,
+                        window_t_limit(t, self.delta),
                         t,
                         m2g_t,
                         {s: u0, d: v0},

@@ -33,6 +33,7 @@ from typing import Deque, Iterable, List, Tuple
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.window import window_horizon
 
 
 class StreamBuffer:
@@ -82,7 +83,7 @@ class StreamBuffer:
         self._in_adj[dst].append(idx)
 
         # Slide the window: evict ring entries older than t_adj - δ.
-        ring, ts, horizon = self._ring, self._ts, t_adj - self.delta
+        ring, ts, horizon = self._ring, self._ts, window_horizon(t_adj, self.delta)
         while ring and ts[ring[0]] < horizon:
             ring.popleft()
         ring.append(idx)

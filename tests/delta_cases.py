@@ -14,8 +14,9 @@ exercising the exact semantics of §II-A that off-by-one bugs hit first:
   never self-loops), in any position — root, middle, or final edge.
 
 ``expected`` is the hand-derived count; every miner — Mackey,
-brute-force, task-centric, the streaming engine, and the
-shared-traversal co-miner — must report it *identically*.
+brute-force, task-centric, the streaming engine, the shared-traversal
+co-miner, and the batched frontier engine — must report it
+*identically*.
 """
 
 from __future__ import annotations
@@ -115,6 +116,53 @@ DELTA_BOUNDARY_CASES: List[DeltaCase] = [
         delta=3,
         expected=4,
     ),
+    DeltaCase(
+        name="exact-boundary-edge-extends",
+        # The closing edge sits at t == t_root + δ precisely: inclusive
+        # window, so it extends (shared predicate in repro.graph.window).
+        edges=((0, 1, 0), (1, 0, 100)),
+        motif=PING_PONG,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="exact-boundary-two-candidates",
+        # Two closing candidates straddle the bound: t=100 is exactly
+        # t_root + δ (in), t=101 one past it (out).  A scan must take
+        # the first and stop at the second.
+        edges=((0, 1, 0), (1, 0, 100), (1, 0, 101)),
+        motif=PING_PONG,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="duplicate-ts-at-boundary-splits",
+        # Two raw duplicates AT the boundary uniquify to t=100 (exactly
+        # δ, in) and t=101 (δ+1, out): the nudge decides each one's fate
+        # independently and identically for every engine.
+        edges=((0, 1, 0), (1, 0, 100), (1, 0, 100)),
+        motif=PING_PONG,
+        delta=100,
+        expected=1,
+    ),
+    DeltaCase(
+        name="duplicate-ts-at-boundary-both-inside",
+        # Same duplicates with δ=101: both nudged copies fit; each
+        # closes its own match against the root.
+        edges=((0, 1, 0), (1, 0, 100), (1, 0, 100)),
+        motif=PING_PONG,
+        delta=101,
+        expected=2,
+    ),
+    DeltaCase(
+        name="m2-closing-edge-exactly-at-boundary",
+        # 3-edge feed-forward triangle whose *bound-endpoint* closing
+        # edge (A->C with both ends mapped) lands exactly on t_root + δ.
+        edges=((0, 1, 0), (1, 2, 40), (0, 2, 100)),
+        motif=M2,
+        delta=100,
+        expected=1,
+    ),
     # -- self-loop-free invariants --------------------------------------------
     DeltaCase(
         name="self-loop-never-roots",
@@ -164,6 +212,13 @@ def comine_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
     return CoMiner(graph, [motif], delta).mine().counts[0]
 
 
+def batched_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    """The vectorized frontier-expansion engine."""
+    from repro.mining.batched import count_motifs_batched
+
+    return count_motifs_batched(graph, motif, delta)
+
+
 #: name -> count(graph, motif, delta); every backend must agree on every
 #: case above (and anywhere else the suites cross-check them).
 COUNT_BACKENDS = {
@@ -172,4 +227,5 @@ COUNT_BACKENDS = {
     "taskcentric": taskcentric_count,
     "streaming": streaming_count,
     "comine": comine_count,
+    "batched": batched_count,
 }

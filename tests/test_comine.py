@@ -198,8 +198,18 @@ class TestEngineParity:
         g = TemporalGraph([], num_nodes=2)
         result = CoMiner(g, [M1, M2], 10).mine()
         assert result.counts == [0, 0]
-        # Structural sharing is still reported on an empty workload.
-        assert result.sharing.prefix_hit_ratio > 0
+        # No traversal ran, so the measured ratios are undefined and
+        # fail loud; only the structural (shape-only) ratio remains.
+        assert not result.sharing.populated
+        assert result.sharing.structural_prefix_ratio > 0
+        with pytest.raises(ValueError):
+            result.sharing.prefix_hit_ratio
+        with pytest.raises(ValueError):
+            result.sharing.traversal_sharing
+        # The payload round-trip still works without the measured keys.
+        d = result.sharing.as_dict()
+        assert "prefix_hit_ratio" not in d
+        assert "structural_prefix_ratio" in d
 
     def test_co_count_convenience(self, graph, delta):
         counts = co_count(graph, [M1, M2], delta)

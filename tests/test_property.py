@@ -225,3 +225,39 @@ class TestCoMiningFamilies:
         assert (
             permuted.counters.as_dict() == base.counters.as_dict()
         )
+
+
+class TestBatchedFrontier:
+    """The vectorized frontier engine against the scalar miner: counts
+    AND the full `SearchCounters` must match byte-for-byte on arbitrary
+    graphs, windows, and root-block sizes (the block size may change
+    memory behaviour, never results)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy,
+           st.integers(1, 40))
+    def test_counts_and_counters_equal_mackey(self, g, motif, delta, block):
+        from repro.mining.batched import BatchedMiner
+
+        scalar = MackeyMiner(g, motif, delta).mine()
+        batched = BatchedMiner(g, motif, delta, root_block=block).mine()
+        assert batched.count == scalar.count
+        assert batched.counters.as_dict() == scalar.counters.as_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_strategy, motif_strategy, delta_strategy,
+           st.integers(1, 15))
+    def test_mine_range_chunks_merge_to_full_run(self, g, motif, delta, step):
+        from repro.mining.batched import BatchedMiner
+        from repro.mining.results import SearchCounters
+
+        miner = BatchedMiner(g, motif, delta, root_block=7)
+        full = miner.mine()
+        total = 0
+        merged = SearchCounters()
+        for lo in range(0, g.num_edges, step):
+            chunk = miner.mine_range(lo, lo + step)
+            total += chunk.count
+            merged.merge(chunk.counters)
+        assert total == full.count
+        assert merged.as_dict() == full.counters.as_dict()
