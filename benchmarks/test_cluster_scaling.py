@@ -1,0 +1,79 @@
+"""Node-count scaling of the sharded mining cluster (no-regression gate).
+
+Runs the full 36-motif Paranjape grid census on the bundled email-eu
+dataset through a :class:`~repro.cluster.MiningCluster` at N=1 and N=4
+worker nodes, asserting per-motif counts *and* SearchCounters
+byte-identical to the serial shared-traversal census at every node
+count — cluster dispatch must never buy throughput with correctness.
+The >1.8x N=4-over-N=1 speedup gate only runs on machines with 4+
+cores (CI containers are often single-core; parity still runs there
+and the measured curve is saved either way).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cluster import MiningCluster
+from repro.graph.generators import make_dataset
+from repro.mining.multi import grid_family_census
+from repro.motifs.grid import grid_motifs
+
+NODE_COUNTS = (1, 4)
+
+
+def test_cluster_scaling(save_result):
+    graph = make_dataset("email-eu", scale=0.5, seed=13)
+    delta = graph.time_span // 30
+    motifs = grid_motifs()
+
+    t0 = time.perf_counter()
+    census = grid_family_census(graph, delta, engine="comine")
+    serial_s = time.perf_counter() - t0
+
+    rows = [
+        f"dataset: email-eu x0.5 ({graph.num_edges} edges), delta={delta}",
+        f"serial comine grid census: {serial_s:.3f}s "
+        f"total={census.total():,}",
+    ]
+    elapsed_by_nodes = {}
+    for nodes in NODE_COUNTS:
+        with MiningCluster(nodes) as cluster:
+            # Ship residency first: steady-state serving mines against
+            # already-resident graphs, so the census itself is timed.
+            cluster.ensure_graph(graph)
+            t0 = time.perf_counter()
+            fam = cluster.count_family(graph, motifs, delta)
+            elapsed = time.perf_counter() - t0
+            stats = cluster.stats.as_dict()
+        assert stats["node_deaths"] == 0 and stats["chunk_retries"] == 0
+        for motif, result in zip(motifs, fam.results):
+            assert result.count == census.counts[motif.name], (
+                f"count parity broke at N={nodes} on {motif.name}"
+            )
+            assert (
+                result.counters.as_dict()
+                == census.per_motif[motif.name].as_dict()
+            ), f"counter parity broke at N={nodes} on {motif.name}"
+        elapsed_by_nodes[nodes] = elapsed
+        rows.append(
+            f"{nodes} node(s): {elapsed:.3f}s  vs serial "
+            f"{serial_s / elapsed:.2f}x  ({fam.num_chunks} chunks, "
+            f"{stats['chunks_completed']} completed)"
+        )
+    scaling = elapsed_by_nodes[1] / elapsed_by_nodes[4]
+    rows.append(f"N=4 over N=1: {scaling:.2f}x")
+    save_result("cluster_scaling", "\n".join(rows))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        # The acceptance bar: sharding the census across 4 real node
+        # processes must scale where the hardware allows it.
+        assert scaling > 1.8, f"expected >1.8x at N=4, got {scaling:.2f}x"
+    else:
+        pytest.skip(
+            f"only {cores} core(s): cluster speedup assertion not meaningful"
+        )

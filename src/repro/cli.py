@@ -15,7 +15,8 @@ Commands
   caching and backpressure (``repro.service``).
 - ``chaos`` — mine under seeded fault injection (worker kills, delays)
   with the supervised pool and verify byte-parity against the serial
-  miner (``repro.resilience``).
+  miner (``repro.resilience``); ``--cluster`` drills whole-node deaths
+  across a sharded mining cluster instead (``repro.cluster``).
 """
 
 from __future__ import annotations
@@ -211,6 +212,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 = in-process serial mining)",
     )
     serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="dispatch mining to a sharded cluster of N worker nodes "
+        "(repro.cluster; 0 = off, overrides --workers)",
+    )
+    serve.add_argument(
         "--lanes", type=int, default=2,
         help="concurrent batch-execution lanes (default 2)",
     )
@@ -257,6 +266,16 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--respawn-budget", type=int, default=None, metavar="N",
         help="total worker respawns allowed (default 3x workers)",
+    )
+    chaos.add_argument(
+        "--cluster", action="store_true",
+        help="drill the sharded cluster instead of one pool: census the "
+        "evaluation catalog across --nodes worker nodes while --kills "
+        "of them die mid-run, then verify byte-parity per motif",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=3, metavar="N",
+        help="cluster worker nodes for --cluster (default 3)",
     )
 
     return parser
@@ -550,11 +569,17 @@ def build_serve_server(args):
 
     from repro.service import MotifService, make_server
 
+    executor = None
+    if getattr(args, "cluster", 0):
+        from repro.cluster import ClusterExecutor
+
+        executor = ClusterExecutor(num_nodes=args.cluster)
     service = MotifService(
         num_workers=args.workers,
         max_queue=args.queue_size,
         lanes=args.lanes,
         cache_bytes=int(args.cache_mb * 1024 * 1024),
+        executor=executor,
     )
     try:
         for spec in args.graphs:
@@ -572,6 +597,79 @@ def build_serve_server(args):
     return service, server
 
 
+def _cmd_chaos_cluster(args) -> int:
+    """The cluster-level chaos drill (``repro chaos --cluster``).
+
+    Censuses the evaluation motif catalog through a sharded
+    :class:`MiningCluster` of ``--nodes`` worker nodes while a seeded
+    plan kills ``--kills`` whole nodes mid-run, then compares every
+    motif's count *and* search counters byte-for-byte against the
+    serial miner.  Exit 0 = parity held; 1 = it did not (a real bug).
+    """
+    from repro.cluster import MiningCluster
+    from repro.motifs.catalog import EVALUATION_MOTIFS
+    from repro.resilience import FaultPlan
+    from repro.service.query import build_payload, payload_bytes
+
+    graph = _load(args.graph)
+    motifs = list(EVALUATION_MOTIFS)
+    if not 0 <= args.kills <= args.nodes:
+        print("error: --kills must be in [0, --nodes]")
+        return 2
+    plan = FaultPlan.random_kills(
+        args.seed, args.nodes, args.kills, site="node.chunk"
+    )
+    fp = graph.fingerprint()
+
+    def payload(motif, count, counters):
+        return payload_bytes(
+            build_payload(fp, motif, args.delta, count, counters)
+        )
+
+    serial = {
+        m.name: MackeyMiner(graph, m, args.delta).mine() for m in motifs
+    }
+    with MiningCluster(
+        args.nodes,
+        chunk_timeout_s=args.chunk_timeout,
+        respawn_budget=args.respawn_budget,
+        fault_plan=plan,
+        seed=args.seed,
+    ) as cluster:
+        family = cluster.count_family(graph, motifs, args.delta)
+        stats = cluster.stats.as_dict()
+        degraded = cluster.degraded
+    mismatches = [
+        m.name
+        for m, r in zip(motifs, family.results)
+        if payload(m, r.count, r.counters.as_dict())
+        != payload(m, serial[m.name].count, serial[m.name].counters.as_dict())
+    ]
+    parity = not mismatches
+    rows = [
+        ["motifs", " ".join(m.name for m in motifs)],
+        ["delta (s)", args.delta],
+        ["total count", f"{sum(r.count for r in family.results):,}"],
+        ["nodes (target)", args.nodes],
+        ["injected kills", len(plan.specs)],
+        ["node deaths", stats["node_deaths"]],
+        ["wedged kills", stats["wedged_kills"]],
+        ["chunk retries", stats["chunk_retries"]],
+        ["respawns", stats["respawns"]],
+        ["failovers", stats["failovers"]],
+        ["graph ships", stats["graph_ships"]],
+        ["chunks completed", stats["chunks_completed"]],
+        ["degraded", str(degraded).lower()],
+        ["parity", "OK" if parity else "FAILED"],
+    ]
+    print(format_table(["cluster chaos", "value"], rows))
+    if not parity:
+        print("PARITY FAILED: cluster mining diverged from the serial "
+              f"miner for {', '.join(mismatches)} under injected faults")
+        return 1
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Exercise the failure path on purpose, then prove it was harmless.
 
@@ -579,9 +677,13 @@ def cmd_chaos(args) -> int:
     seeded :class:`FaultPlan` killing ``--kills`` workers mid-run, and
     compares counts and search counters byte-for-byte against the
     serial miner.  Exit 0 = parity held; 1 = it did not (a real bug).
+    With ``--cluster``, drills whole-node deaths across a sharded
+    cluster instead (see :func:`_cmd_chaos_cluster`).
     """
     from repro.resilience import FaultPlan, SupervisedMiningPool
 
+    if getattr(args, "cluster", False):
+        return _cmd_chaos_cluster(args)
     graph = _load(args.graph)
     motif = motif_by_name(args.motif)
     if not 0 <= args.kills <= args.workers:

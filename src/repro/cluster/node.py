@@ -1,0 +1,126 @@
+"""The worker *node*: one process mining chunks over a local socket.
+
+A node is the supervised worker of :mod:`repro.resilience.supervisor`
+promoted to cluster membership: instead of an inherited pipe it dials
+the coordinator's ``multiprocessing.connection`` listener (a real local
+socket with an authkey handshake), and instead of one baked-in graph it
+keeps a registry of resident graphs keyed by fingerprint, shipped to it
+explicitly.  The chunk messages themselves are the existing supervised
+worker protocol — ``(epoch, task_id, kind, spec, delta, lo, hi)`` with
+kind ``"motif"`` / ``"batched"`` / ``"family"`` — prefixed with the
+fingerprint of the graph to mine, and the chunk bodies are literally
+:func:`~repro.mining.parallel._mine_chunk` /
+``_mine_batched_chunk`` / ``_mine_family_chunk``, so every engine that
+works in a pool works on a node unchanged.
+
+Wire protocol (coordinator -> node):
+
+- ``("graph", fp, arrays, num_nodes)`` — adopt a graph; reply
+  ``("loaded", nid, fp)``.
+- ``("task", (epoch, task_id, fp, kind, spec, delta, lo, hi))`` — mine
+  one chunk; reply ``("done", nid, (epoch, task_id, result))`` or
+  ``("chunk_error", nid, (epoch, task_id, repr))``.
+- ``("drop", fp)`` — release a resident graph (no reply).
+- ``None`` — shut down.
+
+Node -> coordinator on connect: ``("ready", nid, None)``.
+
+Every send is synchronous, so results a node managed to emit before
+dying are still readable afterwards — the same crash-survivability
+contract the supervised pipe workers uphold.  Fault injection uses the
+``node.chunk`` site (context: ``worker`` = node slot index), mirroring
+``worker.chunk`` one level up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.mining import parallel as _parallel
+from repro.resilience.faults import FaultPlan, fault_point
+
+#: chunk kind -> the pool-worker chunk body it reuses verbatim.
+CHUNK_FNS = {
+    "motif": _parallel._mine_chunk,
+    "batched": _parallel._mine_batched_chunk,
+    "family": _parallel._mine_family_chunk,
+}
+
+
+def build_graph_state(arrays: Dict, num_nodes: int) -> Dict:
+    """Worker-state dict for one resident graph.
+
+    The miner caches are created eagerly so the chunk bodies'
+    ``setdefault`` calls find (and mutate) these exact dict objects —
+    mutations persist across the per-chunk state swap.
+    """
+    graph = TemporalGraph.from_arrays(num_nodes=num_nodes, validate=False, **arrays)
+    return {
+        "graph": graph,
+        "miners": {},
+        "batched_miners": {},
+        "cominers": {},
+    }
+
+
+def mine_in_state(
+    state: Dict, kind: str, spec: Tuple, delta: int, lo: int, hi: int
+):
+    """Run one chunk body against ``state``'s resident graph.
+
+    The pool chunk functions address their graph and miner caches
+    through the module-global ``_WORKER_STATE``; a node holds one such
+    state per resident graph and swaps the right one in around the
+    call.  A node processes one message at a time, so the swap is safe.
+    """
+    try:
+        chunk_fn = CHUNK_FNS[kind]
+    except KeyError:
+        raise ValueError(f"unknown chunk kind {kind!r}") from None
+    ws = _parallel._WORKER_STATE
+    ws.clear()
+    ws.update(state)
+    try:
+        return chunk_fn((spec, delta, lo, hi))
+    finally:
+        ws.clear()
+
+
+def node_main(
+    nid: int, address, authkey: bytes, fault_plan: FaultPlan = None
+) -> None:  # pragma: no cover - runs in spawned node processes only
+    """Node process main: dial the coordinator, then serve until told to stop."""
+    from multiprocessing.connection import Client
+
+    conn = Client(address, authkey=authkey)
+    if fault_plan is not None:
+        fault_plan.install()
+    states: Dict[str, Dict] = {}
+    conn.send(("ready", nid, None))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator went away
+        if msg is None:
+            return
+        tag = msg[0]
+        if tag == "graph":
+            _, fp, arrays, num_nodes = msg
+            states[fp] = build_graph_state(arrays, num_nodes)
+            conn.send(("loaded", nid, fp))
+        elif tag == "drop":
+            states.pop(msg[1], None)
+        elif tag == "task":
+            epoch, task_id, fp, kind, spec, delta, lo, hi = msg[1]
+            try:
+                fault_point("node.chunk", worker=nid, chunk=task_id)
+                state = states.get(fp)
+                if state is None:
+                    raise KeyError(f"graph {fp} not resident on node {nid}")
+                result = mine_in_state(state, kind, spec, delta, lo, hi)
+            except BaseException as exc:  # noqa: BLE001 - reported, node survives
+                conn.send(("chunk_error", nid, (epoch, task_id, repr(exc))))
+                continue
+            conn.send(("done", nid, (epoch, task_id, result)))

@@ -20,9 +20,13 @@ Known sites:
 
 - ``worker.chunk`` — a supervised mining worker, just before it mines a
   root-range chunk (context: ``worker`` = worker id).
-- ``executor.batch`` — :class:`~repro.service.executor.PoolExecutor`,
-  just before it hands a batch to the resident pool (context: ``graph``
-  = fingerprint).
+- ``node.chunk`` — a cluster worker node
+  (:mod:`repro.cluster.node`), just before it mines a chunk (context:
+  ``worker`` = node slot index).  Same shape as ``worker.chunk``, one
+  level up the deployment ladder.
+- ``executor.batch`` — :class:`~repro.service.executor.PoolExecutor`
+  and :class:`~repro.cluster.executor.ClusterExecutor`, just before a
+  batch is handed to the backend (context: ``graph`` = fingerprint).
 
 Counters are process-local: a plan pickled into a worker process counts
 that worker's own calls, so "kill worker 2 at its 3rd chunk" and "every
@@ -98,25 +102,35 @@ class FaultPlan:
     # -- construction helpers --------------------------------------------------
 
     @classmethod
-    def kill_worker(cls, worker: int, at_chunk: int = 1) -> "FaultPlan":
-        """Kill one worker (by id) at its ``at_chunk``-th chunk."""
-        return cls([FaultSpec("worker.chunk", "kill", at_chunk, worker=worker)])
+    def kill_worker(
+        cls, worker: int, at_chunk: int = 1, site: str = "worker.chunk"
+    ) -> "FaultPlan":
+        """Kill one worker (by id) at its ``at_chunk``-th chunk.
+
+        ``site="node.chunk"`` retargets the same plan shape at cluster
+        nodes (the ``worker`` id is then the node slot index).
+        """
+        return cls([FaultSpec(site, "kill", at_chunk, worker=worker)])
 
     @classmethod
-    def kill_workers(cls, kills: Dict[int, int]) -> "FaultPlan":
+    def kill_workers(
+        cls, kills: Dict[int, int], site: str = "worker.chunk"
+    ) -> "FaultPlan":
         """Kill several workers: ``{worker_id: at_chunk}``."""
         return cls(
             [
-                FaultSpec("worker.chunk", "kill", at_chunk, worker=wid)
+                FaultSpec(site, "kill", at_chunk, worker=wid)
                 for wid, at_chunk in sorted(kills.items())
             ]
         )
 
     @classmethod
-    def kill_every_worker(cls, at_chunk: int = 1) -> "FaultPlan":
+    def kill_every_worker(
+        cls, at_chunk: int = 1, site: str = "worker.chunk"
+    ) -> "FaultPlan":
         """Every worker (including respawns) dies at its Nth chunk —
         the respawn-budget-exhaustion scenario."""
-        return cls([FaultSpec("worker.chunk", "kill", at_chunk)])
+        return cls([FaultSpec(site, "kill", at_chunk)])
 
     @classmethod
     def raise_at(cls, site: str, at_calls: Sequence[int],
@@ -128,10 +142,17 @@ class FaultPlan:
 
     @classmethod
     def random_kills(
-        cls, seed: int, num_workers: int, kills: int, max_chunk: int = 4
+        cls,
+        seed: int,
+        num_workers: int,
+        kills: int,
+        max_chunk: int = 4,
+        site: str = "worker.chunk",
     ) -> "FaultPlan":
         """A seeded plan killing ``kills`` distinct workers at random
-        early chunks — the ``repro chaos`` CLI's default plan."""
+        early chunks — the ``repro chaos`` CLI's default plan.  With
+        ``site="node.chunk"`` the same seed kills whole cluster nodes
+        instead (``repro chaos --cluster``)."""
         import random
 
         if not 0 <= kills <= num_workers:
@@ -141,7 +162,7 @@ class FaultPlan:
         return cls(
             [
                 FaultSpec(
-                    "worker.chunk", "kill", rng.randrange(1, max_chunk + 1),
+                    site, "kill", rng.randrange(1, max_chunk + 1),
                     worker=wid,
                 )
                 for wid in sorted(victims)

@@ -211,6 +211,12 @@ class SupervisedMiningPool:
     - ``on_event`` — ``callback(counter_name, n)`` mirror of
       :class:`PoolStats` increments, used by the serving layer to feed
       shared service metrics.
+    - ``clock`` / ``sleep`` — injectable time sources (monotonic clock
+      and blocking sleep) used by every supervision-side deadline: the
+      respawn backoff, wedge detection, and chunk timing.  Tests drive
+      them with a fake clock so backoff schedules are asserted without
+      real waiting; ``close()`` stays on real time (it bounds talking
+      to real processes, not a policy decision).
     """
 
     def __init__(
@@ -226,6 +232,8 @@ class SupervisedMiningPool:
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         on_event: Optional[Callable[[str, int], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -247,6 +255,8 @@ class SupervisedMiningPool:
         self.stats = PoolStats()
         self._fault_plan = fault_plan
         self._on_event = on_event
+        self._clock = clock
+        self._sleep = sleep
         self._jitter = random.Random(seed)
         #: One supervision loop at a time: the epoch counter, the worker
         #: pipes, and per-call task ids are all shared state, so
@@ -316,7 +326,7 @@ class SupervisedMiningPool:
             worker.current = None
         self._event("worker_deaths")
         self._consecutive_respawns += 1
-        self._next_spawn_at = time.monotonic() + self._backoff_delay()
+        self._next_spawn_at = self._clock() + self._backoff_delay()
 
     def _drain_conn(self, worker: _Worker, on_result, completed_ids) -> None:
         """Read out anything the worker sent before it stopped.
@@ -628,14 +638,14 @@ class SupervisedMiningPool:
                 # stops blocking its lane immediately rather than after
                 # the full backoff delay.
                 while True:
-                    remaining = self._next_spawn_at - time.monotonic()
+                    remaining = self._next_spawn_at - self._clock()
                     if remaining <= 0:
                         break
                     if cancel_check is not None and cancel_check():
                         raise MiningCancelled(
                             "mining cancelled during respawn backoff"
                         )
-                    time.sleep(min(0.05, remaining))
+                    self._sleep(min(0.05, remaining))
                 self._maybe_respawn()
                 continue
             if (
@@ -673,7 +683,7 @@ class SupervisedMiningPool:
                 pending.appendleft(task_id)
                 continue
             worker.current = (self._epoch, task_id)
-            worker.started_at = time.monotonic()
+            worker.started_at = self._clock()
 
     def _wait_and_collect(self, on_result, completed, tick: float = 0.05) -> None:
         """Block until a message or a death, then process every ready one."""
@@ -698,7 +708,7 @@ class SupervisedMiningPool:
             # loop turn (after the conn is fully drained).
 
     def _sweep_dead(self, on_result, completed) -> None:
-        now = time.monotonic()
+        now = self._clock()
         for worker in list(self._workers.values()):
             if not worker.process.is_alive():
                 self._bury(worker, on_result, completed)
@@ -722,7 +732,7 @@ class SupervisedMiningPool:
         while (
             len(self._workers) < self.num_workers
             and self._respawns_used < self.respawn_budget
-            and time.monotonic() >= self._next_spawn_at
+            and self._clock() >= self._next_spawn_at
         ):
             self._respawns_used += 1
             self._event("respawns")

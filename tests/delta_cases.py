@@ -219,6 +219,32 @@ def batched_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
     return count_motifs_batched(graph, motif, delta)
 
 
+_SHARED_CLUSTER = None
+
+
+def _shared_cluster():
+    """A lazily-started 2-node mining cluster, shared by every case.
+
+    Spinning up node processes per case would dominate the suite's
+    runtime; residency is per-fingerprint, so all the tiny case graphs
+    coexist on one cluster.  Closed at interpreter exit.
+    """
+    global _SHARED_CLUSTER
+    if _SHARED_CLUSTER is None:
+        import atexit
+
+        from repro.cluster import MiningCluster
+
+        _SHARED_CLUSTER = MiningCluster(2)
+        atexit.register(_SHARED_CLUSTER.close)
+    return _SHARED_CLUSTER
+
+
+def cluster_count(graph: TemporalGraph, motif: Motif, delta: int) -> int:
+    """Sharded dispatch across worker nodes (repro.cluster)."""
+    return _shared_cluster().count(graph, motif, delta).count
+
+
 #: name -> count(graph, motif, delta); every backend must agree on every
 #: case above (and anywhere else the suites cross-check them).
 COUNT_BACKENDS = {
@@ -229,3 +255,9 @@ COUNT_BACKENDS = {
     "comine": comine_count,
     "batched": batched_count,
 }
+
+#: COUNT_BACKENDS plus dispatch layers that cost real processes to
+#: stand up.  Used where each case runs once (the boundary-case
+#: parametrization), NOT inside hypothesis loops — a property run would
+#: pay the cluster socket round-trips hundreds of times.
+EXTENDED_COUNT_BACKENDS = dict(COUNT_BACKENDS, cluster=cluster_count)

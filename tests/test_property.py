@@ -13,7 +13,11 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from delta_cases import COUNT_BACKENDS, DELTA_BOUNDARY_CASES
+from delta_cases import (
+    COUNT_BACKENDS,
+    DELTA_BOUNDARY_CASES,
+    EXTENDED_COUNT_BACKENDS,
+)
 from repro.graph.temporal_graph import TemporalGraph
 from repro.mining.bruteforce import brute_force_count
 from repro.mining.mackey import MackeyMiner, count_motifs
@@ -142,14 +146,15 @@ class TestDeltaBoundary:
     spanning exactly δ (inclusive ``t_l - t_1 <= δ``, §II-A), duplicate
     timestamps at the window edge, and self-loop-free invariants —
     asserted identically against mackey, bruteforce, taskcentric,
-    streaming, and the shared-traversal co-miner."""
+    streaming, the shared-traversal co-miner, the batched engine, and
+    cluster dispatch across worker nodes."""
 
-    @pytest.mark.parametrize("backend", sorted(COUNT_BACKENDS))
+    @pytest.mark.parametrize("backend", sorted(EXTENDED_COUNT_BACKENDS))
     @pytest.mark.parametrize(
         "case", DELTA_BOUNDARY_CASES, ids=lambda c: c.name
     )
     def test_boundary_case(self, backend, case):
-        count = COUNT_BACKENDS[backend]
+        count = EXTENDED_COUNT_BACKENDS[backend]
         assert count(case.graph(), case.motif, case.delta) == case.expected, (
             f"{backend} disagrees on {case.name}"
         )
