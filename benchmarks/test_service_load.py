@@ -24,7 +24,7 @@ from repro.analysis.reporting import format_rate
 from repro.graph.generators import make_dataset
 from repro.mining.mackey import MackeyMiner
 from repro.motifs.catalog import EVALUATION_MOTIFS
-from repro.service import MotifService, payload_bytes
+from repro.service import MotifService, build_payload, payload_bytes
 
 NUM_CLIENTS = 64
 QUERIES_PER_CLIENT = 4
@@ -79,13 +79,13 @@ def test_service_load(save_result):
         for delta in DELTAS:
             r = MackeyMiner(graph, motif, delta).mine()
             expected[(motif.name, delta)] = payload_bytes(
-                {
-                    "graph": graph.fingerprint(),
-                    "motif": motif.name,
-                    "delta": delta,
-                    "count": r.count,
-                    "counters": r.counters.as_dict(),
-                }
+                build_payload(
+                    graph.fingerprint(),
+                    motif,
+                    delta,
+                    r.count,
+                    r.counters.as_dict(),
+                )
             )
     per_key_s = (time.perf_counter() - t0) / len(expected)
     direct_s = per_key_s * total  # what 256 uncoalesced runs would cost

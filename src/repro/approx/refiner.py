@@ -1,0 +1,126 @@
+"""Background refiner: upgrade popular approximate cache entries to exact.
+
+Approximate answers buy latency at admission time; the refiner buys the
+accuracy back when the service has nothing better to do.  A daemon
+thread watches the scheduler: whenever it is **idle** (empty queue, no
+batch in flight), the most-requested cache entry still carrying an
+``approx(...)`` accuracy tag is re-submitted as an ordinary *exact*
+query through the normal scheduler path.  The exact result lands in the
+cache through the standard ``put`` tiering rules — exact replaces
+approx, and can itself never be downgraded again — so every later hit
+on that key serves the exact count.
+
+The refiner is deliberately a pure *client* of the scheduler: it takes
+the same admission, batching, caching and breaker paths as external
+traffic, so it can never corrupt state, and real queries arriving
+mid-refinement simply queue behind one exact mine (bounded by the
+idle-check granularity).  Failures (graph evicted, service closing,
+overload) are swallowed — refinement is opportunistic by design.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.motifs.motif import Motif
+
+
+class CacheRefiner:
+    """Idle-capacity upgrade loop over a scheduler's result cache.
+
+    ``interval_s`` is the poll cadence; ``max_refinements`` optionally
+    bounds total upgrades (tests).  Upgrades are counted through the
+    scheduler's shared counters as ``refined_entries`` → the
+    ``/metrics`` snapshot.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        interval_s: float = 0.05,
+        max_refinements: Optional[int] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.scheduler = scheduler
+        self.interval_s = float(interval_s)
+        self.max_refinements = max_refinements
+        self.refined = 0
+        self.attempts = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "CacheRefiner":
+        if self._thread is not None:
+            raise RuntimeError("refiner already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="mint-refiner", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CacheRefiner":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the upgrade loop ------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            if (
+                self.max_refinements is not None
+                and self.refined >= self.max_refinements
+            ):
+                return
+            if not self.scheduler.idle:
+                continue
+            self.refine_once()
+
+    def refine_once(self) -> bool:
+        """Upgrade (at most) one approximate entry; True on success.
+
+        Public so tests and operators can drive refinement
+        deterministically without the polling thread.
+        """
+        # Imported here (not module top): repro.service.query imports
+        # repro.approx.estimate, so a module-level import would cycle
+        # through the package __init__.
+        from repro.service.query import (
+            MotifQuery,
+            QueryRejected,
+            ServiceClosed,
+            UnknownGraph,
+        )
+
+        popular = self.scheduler.cache.popular_approx(limit=1)
+        if not popular:
+            return False
+        (fingerprint, motif_key, delta), _hits = popular[0]
+        self.attempts += 1
+        try:
+            # The canonical key is itself a valid edge list, so the
+            # refined query coalesces/caches under exactly the same key.
+            query = MotifQuery(
+                fingerprint=fingerprint,
+                motif=Motif(motif_key, name="refined"),
+                delta=delta,
+            )
+            result = self.scheduler.submit(query).result()
+        except (QueryRejected, ServiceClosed, UnknownGraph, ValueError):
+            return False  # busy, closing, or the graph went away
+        if result.ok and result.source != "cache":
+            self.refined += 1
+            self.scheduler.counters.inc("refined_entries")
+            return True
+        return False

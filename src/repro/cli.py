@@ -84,6 +84,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "(all produce identical counts/counters; batched/comine are "
         "incompatible with --memoize and --show-matches)",
     )
+    mine.add_argument(
+        "--approx",
+        action="store_true",
+        help="estimate by importance-weighted interval sampling instead "
+        "of exact mining; adaptive rounds stop once the relative CI "
+        "half-width meets --max-error",
+    )
+    mine.add_argument(
+        "--max-error",
+        type=float,
+        default=0.05,
+        metavar="EPS",
+        help="approx target relative error (CI half-width / estimate)",
+    )
+    mine.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="P",
+        help="approx confidence level for the reported interval",
+    )
+    mine.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="approx sampling seed (identical seeds reproduce bytes)",
+    )
+    mine.add_argument(
+        "--max-samples",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="approx sampling budget cap across adaptive rounds",
+    )
 
     census = sub.add_parser("census", help="count the 36-motif grid")
     census.add_argument("graph")
@@ -233,6 +267,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result-cache byte budget in MB (default 64)",
     )
     serve.add_argument(
+        "--refiner", action="store_true",
+        help="background-upgrade popular approximate cache entries to "
+        "exact results whenever the scheduler is idle",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -306,6 +345,16 @@ def cmd_mine(args) -> int:
         print("error: --show-matches requires the serial text mode "
               "(--workers 0, no --json)")
         return 2
+    if getattr(args, "approx", False):
+        if args.memoize or args.show_matches > 0:
+            print("error: --approx is incompatible with --memoize and "
+                  "--show-matches")
+            return 2
+        if getattr(args, "engine", "mackey") != "mackey":
+            print("error: --approx always mines sampled windows with the "
+                  "mackey engine; drop --engine")
+            return 2
+        return _mine_approx(graph, motif, args)
     engine = getattr(args, "engine", "mackey")
     if engine != "mackey":
         if args.memoize or args.show_matches > 0:
@@ -375,6 +424,66 @@ def cmd_mine(args) -> int:
     for match in shown:
         edges = [graph.edge(i) for i in match.edge_indices]
         print("  match:", " -> ".join(f"{e.src}->{e.dst}@{e.t}" for e in edges))
+    return 0
+
+
+def _mine_approx(graph, motif, args) -> int:
+    """`repro mine --approx`: sampled estimate with error bounds.
+
+    Serial (`--workers 0`) samples inline; with workers the sample
+    batches run as pool chunks.  Either path is byte-identical for the
+    same ``(graph, motif, delta, seed)`` — and identical to what the
+    service's approx query mode serves (`--json` prints that payload).
+    """
+    from repro.approx.engine import adaptive_estimate, estimate_inline
+    from repro.approx.estimate import ApproxSpec, build_approx_payload
+    from repro.approx.sampler import window_length_for
+
+    try:
+        spec = ApproxSpec(
+            max_error=args.max_error,
+            confidence=args.confidence,
+            seed=args.seed,
+            max_samples=args.max_samples,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    workers = getattr(args, "workers", 0)
+    if workers > 0:
+        from repro.mining.parallel import MiningPool
+
+        window = window_length_for(args.delta, spec)
+        with MiningPool(graph, workers) as pool:
+            est = adaptive_estimate(
+                lambda lo, hi: pool.sample_intervals(
+                    motif, args.delta, spec, lo, hi
+                ),
+                spec,
+                window,
+            )
+    else:
+        est = estimate_inline(graph, motif, args.delta, spec)
+    if getattr(args, "json", False):
+        from repro.service.query import payload_bytes
+
+        payload = build_approx_payload(
+            graph.fingerprint(), motif, args.delta, est
+        )
+        print(payload_bytes(payload).decode())
+        return 0
+    lo, hi = est.ci
+    print(
+        f"{motif.name} estimate (delta={args.delta}s): "
+        f"{est.estimate:,.1f}  "
+        f"[{lo:,.1f}, {hi:,.1f}] @ {est.confidence:.0%}"
+    )
+    status = "converged" if est.converged else "budget exhausted"
+    print(
+        f"  samples: {est.num_samples}  stderr: {est.std_error:,.2f}  "
+        f"achieved eps: {est.achieved_eps:.4f} "
+        f"(target {spec.max_error})  [{status}, seed {spec.seed}]"
+    )
     return 0
 
 
@@ -580,6 +689,7 @@ def build_serve_server(args):
         lanes=args.lanes,
         cache_bytes=int(args.cache_mb * 1024 * 1024),
         executor=executor,
+        refiner=getattr(args, "refiner", False),
     )
     try:
         for spec in args.graphs:

@@ -563,6 +563,74 @@ class MiningPool:
                 submit_next()
         return self._family_result(motifs, acc, len(bounds))
 
+    def sample_intervals(
+        self,
+        motif: Motif,
+        delta: int,
+        spec,
+        lo: int,
+        hi: int,
+        cancel_check: Optional[Callable[[], bool]] = None,
+    ):
+        """Run approximate sample indices ``[lo, hi)`` as pool chunks.
+
+        Each chunk is a pure function of its index range (per-sample
+        RNG substreams, see :mod:`repro.approx.sampler`), and batches
+        merge commutatively, so the merged result is byte-identical to
+        an inline :meth:`IntervalSampler.sample_range(lo, hi)
+        <repro.approx.sampler.IntervalSampler.sample_range>` no matter
+        how the range was chunked or which workers ran it.  ``spec`` is
+        an :class:`~repro.approx.estimate.ApproxSpec`.
+        """
+        from repro.approx.estimate import SampleBatch
+        from repro.approx.sampler import _sample_chunk
+
+        if self._closed:
+            raise RuntimeError("MiningPool is closed")
+        merged = SampleBatch()
+        n = hi - lo
+        if n <= 0:
+            return merged
+        params = spec.sampler_params()
+        size = max(1, n // (2 * self.num_workers))
+        bounds = [(i, min(hi, i + size)) for i in range(lo, hi, size)]
+        task_iter = iter(
+            (motif.edges, int(delta), params, c_lo, c_hi) for c_lo, c_hi in bounds
+        )
+        pending: set = set()
+
+        def submit_next() -> None:
+            try:
+                task = next(task_iter)
+            except StopIteration:
+                return
+            try:
+                pending.add(self._pool.submit(_sample_chunk, task))
+            except BrokenProcessPool:
+                self._broken = True
+                raise
+
+        for _ in range(2 * self.num_workers):
+            submit_next()
+        while pending:
+            if cancel_check is not None and cancel_check():
+                for fut in pending:
+                    fut.cancel()
+                wait(pending)
+                pending.clear()
+                raise MiningCancelled("sampling cancelled by cancel_check")
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                pending.discard(fut)
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool:
+                    self._broken = True
+                    raise
+                merged.merge(SampleBatch.from_payload(payload))
+                submit_next()
+        return merged
+
     def _family_result(
         self, motifs: Sequence[Motif], acc, num_chunks: int
     ) -> FamilyParallelResult:

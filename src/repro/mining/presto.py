@@ -38,7 +38,14 @@ from repro.motifs.motif import Motif
 
 @dataclass(frozen=True)
 class PrestoEstimate:
-    """Result of one PRESTO estimation run."""
+    """Result of one PRESTO estimation run.
+
+    Carries the normal-approximation confidence interval alongside the
+    point estimate: ``ci_low``/``ci_high`` bound the count at level
+    ``confidence`` (default 95%), matching the error-bound block served
+    by the approximate query mode so ``repro mine --json`` output and
+    service payloads stay comparable.
+    """
 
     estimate: float
     std_error: float
@@ -46,12 +53,35 @@ class PrestoEstimate:
     window_length: float
     per_sample: List[float]
     counters: SearchCounters
+    confidence: float = 0.95
+    ci_low: float = -math.inf
+    ci_high: float = math.inf
 
     def relative_std_error(self) -> float:
         """Standard error relative to the estimate (inf if estimate is 0)."""
         if self.estimate == 0:
             return math.inf
         return self.std_error / abs(self.estimate)
+
+    @property
+    def ci(self) -> "tuple":
+        return (self.ci_low, self.ci_high)
+
+    def achieved_eps(self) -> float:
+        """Relative CI half-width (the approximate-serving ε metric)."""
+        half = (self.ci_high - self.ci_low) / 2.0
+        return half / max(abs(self.estimate), 1.0)
+
+    def stats_dict(self) -> dict:
+        """Error-bound block, shaped like the service's approx payloads."""
+        return {
+            "estimate": float(self.estimate),
+            "stderr": float(self.std_error),
+            "ci": [float(self.ci_low), float(self.ci_high)],
+            "confidence": float(self.confidence),
+            "achieved_eps": float(self.achieved_eps()),
+            "num_samples": int(self.num_samples),
+        }
 
 
 class PrestoEstimator:
@@ -123,6 +153,14 @@ class PrestoEstimator:
             std_err = float(np.std(totals, ddof=1) / math.sqrt(num_samples))
         else:
             std_err = math.inf
+        from repro.approx.estimate import normal_quantile
+
+        confidence = 0.95
+        half = (
+            normal_quantile(confidence) * std_err
+            if math.isfinite(std_err)
+            else math.inf
+        )
         return PrestoEstimate(
             estimate=mean,
             std_error=std_err,
@@ -130,4 +168,7 @@ class PrestoEstimator:
             window_length=w,
             per_sample=totals,
             counters=counters,
+            confidence=confidence,
+            ci_low=mean - half,
+            ci_high=mean + half,
         )

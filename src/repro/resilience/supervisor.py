@@ -178,6 +178,13 @@ def _supervised_worker(  # pragma: no cover - runs in spawned workers only
                 result = _mine_family_chunk((spec, delta, lo, hi))
             elif kind == "batched":
                 result = _mine_batched_chunk((spec, delta, lo, hi))
+            elif kind == "sample":
+                # spec = (motif_edges, sampler params); lo/hi are sample
+                # indices, not root edges (repro.approx chunk protocol).
+                from repro.approx.sampler import _sample_chunk
+
+                motif_edges, params = spec
+                result = _sample_chunk((motif_edges, delta, params, lo, hi))
             else:
                 result = _mine_chunk((spec, delta, lo, hi))
         except BaseException as exc:  # noqa: BLE001
@@ -471,6 +478,46 @@ class SupervisedMiningPool:
             return self._count_family_locked(
                 motifs, delta, chunks_per_worker, cancel_check, allow_degraded
             )
+
+    def sample_intervals(
+        self,
+        motif,
+        delta: int,
+        spec,
+        lo: int,
+        hi: int,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        allow_degraded: bool = True,
+    ):
+        """Run approximate sample indices ``[lo, hi)`` under supervision.
+
+        Sample chunks are as idempotent as mining chunks — each is a
+        pure function of ``(motif, δ, spec, index range)`` thanks to the
+        per-index RNG substreams — and batches merge commutatively, so
+        worker deaths and retries cannot change the estimate: the merged
+        batch is byte-identical to an inline ``sample_range(lo, hi)``.
+        ``spec`` is an :class:`~repro.approx.estimate.ApproxSpec`.
+        """
+        from repro.approx.estimate import SampleBatch
+
+        with self._serialized(cancel_check):
+            merged = SampleBatch()
+            n = hi - lo
+            if n <= 0:
+                self._check_usable()
+                return merged
+            params = spec.sampler_params()
+            size = max(1, n // (2 * self.num_workers))
+            specs = [
+                ("sample", (motif.edges, params), int(delta), c_lo, min(hi, c_lo + size))
+                for c_lo in range(lo, hi, size)
+            ]
+
+            def apply_result(task_id: int, result) -> None:
+                merged.merge(SampleBatch.from_payload(result))
+
+            self._run_chunks(specs, apply_result, cancel_check, allow_degraded)
+            return merged
 
     def _serialized(self, cancel_check: Optional[Callable[[], bool]]):
         return _SerializedTurn(self._mine_lock, cancel_check)

@@ -7,6 +7,21 @@ keyed by ``(graph_fingerprint, canonical_motif, delta)`` — exactly the
 triple under which results are provably byte-identical — so a repeat
 query costs a dictionary lookup instead of a mining run.
 
+Entries carry an **accuracy tag**: ``"exact"`` for miner output,
+``"approx(eps, alpha)"`` for sampled estimates (with the full
+error-bound block kept alongside).  The tiering rules are strict:
+
+- an exact entry is never replaced by an approximate one (``put``
+  refuses);
+- an approximate entry is upgraded in place by an exact result, or
+  replaced by a tighter (lower achieved-ε) approximate one;
+- ``get`` serves approximate entries only to callers that opted in
+  (``accept_approx=True``) — exact queries never see estimates.
+
+Per-key hit counts are tracked so the background refiner can pick the
+most-requested approximate entries to upgrade to exact during idle
+capacity (:mod:`repro.approx.refiner`).
+
 Eviction is LRU bounded by estimated entry bytes (not entry count:
 counter dictionaries dominate the footprint and are uniform, but the
 byte bound keeps the policy honest if entries ever grow).  Hit/miss/
@@ -19,25 +34,52 @@ import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.approx.estimate import EXACT
 from repro.service.query import QueryKey
 
 
 @dataclass(frozen=True)
 class CachedResult:
-    """An immutable cached count: the mined number plus its counters."""
+    """An immutable cached count: the mined number plus its counters.
+
+    ``accuracy`` is ``"exact"`` or the ``approx(eps, alpha)`` tag of the
+    estimate; approximate entries keep the full error-bound block in
+    ``approx`` (the :meth:`ApproxEstimate.stats_dict
+    <repro.approx.estimate.ApproxEstimate.stats_dict>` dict) so a cache
+    hit can serve the same labelled payload the original run did.
+    """
 
     count: int
     counters: Dict[str, int]
     nbytes: int
+    accuracy: str = EXACT
+    approx: Optional[Dict] = None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.accuracy == EXACT
+
+    @property
+    def achieved_eps(self) -> float:
+        """Realized relative error (0.0 for exact entries)."""
+        if self.approx is None:
+            return 0.0
+        return float(self.approx["achieved_eps"])
 
 
-def _estimate_nbytes(key: QueryKey, count: int, counters: Dict[str, int]) -> int:
+def _estimate_nbytes(
+    key: QueryKey,
+    count: int,
+    counters: Dict[str, int],
+    approx: Optional[Dict] = None,
+) -> int:
     """Deterministic size estimate: the JSON footprint of key + value."""
-    return len(repr(key)) + len(
-        json.dumps({"count": count, "counters": counters})
-    )
+    body = {"count": count, "counters": counters}
+    if approx is not None:
+        body["approx"] = approx
+    return len(repr(key)) + len(json.dumps(body))
 
 
 class ResultCache:
@@ -49,45 +91,103 @@ class ResultCache:
         self.max_bytes = int(max_bytes)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[QueryKey, CachedResult]" = OrderedDict()
+        self._hit_counts: Dict[QueryKey, int] = {}
         self.bytes_used = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.refinements = 0
 
     # -- core ------------------------------------------------------------------
 
-    def get(self, key: QueryKey) -> Optional[CachedResult]:
+    def get(self, key: QueryKey, accept_approx: bool = False) -> Optional[CachedResult]:
+        """Look up one key.
+
+        Exact entries serve every caller.  Approximate entries serve
+        only callers that accept them (``accept_approx=True``) — an
+        exact query observing an approx entry counts as a miss and the
+        entry stays put (the later exact result will upgrade it).
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is None or (not entry.is_exact and not accept_approx):
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
+            self._hit_counts[key] = self._hit_counts.get(key, 0) + 1
             self.hits += 1
             return entry
 
-    def put(self, key: QueryKey, count: int, counters: Dict[str, int]) -> bool:
-        """Insert (or refresh) a result; returns False if it cannot fit.
+    def peek(self, key: QueryKey) -> Optional[CachedResult]:
+        """Read without touching LRU order or hit/miss accounting — the
+        degraded-serving path's 'anything labelled beats a 504' probe."""
+        with self._lock:
+            return self._entries.get(key)
 
-        An entry larger than the whole budget is refused rather than
+    def put(
+        self,
+        key: QueryKey,
+        count: int,
+        counters: Dict[str, int],
+        accuracy: str = EXACT,
+        approx: Optional[Dict] = None,
+    ) -> bool:
+        """Insert (or refresh) a result; returns False if not stored.
+
+        Tiering: exact entries are never downgraded to approximate, and
+        an approximate entry is only replaced by an exact result or by
+        an estimate with achieved ε no worse than the incumbent's.  An
+        entry larger than the whole budget is refused rather than
         evicting the entire cache for one oversized tenant.
         """
         counters = {k: int(v) for k, v in counters.items()}
-        nbytes = _estimate_nbytes(key, int(count), counters)
+        nbytes = _estimate_nbytes(key, int(count), counters, approx)
         if nbytes > self.max_bytes:
             return False
-        entry = CachedResult(count=int(count), counters=counters, nbytes=nbytes)
+        entry = CachedResult(
+            count=int(count),
+            counters=counters,
+            nbytes=nbytes,
+            accuracy=accuracy,
+            approx=dict(approx) if approx is not None else None,
+        )
         with self._lock:
-            old = self._entries.pop(key, None)
+            old = self._entries.get(key)
             if old is not None:
+                if old.is_exact and not entry.is_exact:
+                    return False  # exact always preferred
+                if (
+                    not old.is_exact
+                    and not entry.is_exact
+                    and entry.achieved_eps > old.achieved_eps
+                ):
+                    return False  # keep the tighter estimate
+                if not old.is_exact and entry.is_exact:
+                    self.refinements += 1
+                self._entries.pop(key)
                 self.bytes_used -= old.nbytes
             self._entries[key] = entry
             self.bytes_used += nbytes
             while self.bytes_used > self.max_bytes:
-                _, victim = self._entries.popitem(last=False)
+                victim_key, victim = self._entries.popitem(last=False)
                 self.bytes_used -= victim.nbytes
+                self._hit_counts.pop(victim_key, None)
                 self.evictions += 1
             return True
+
+    # -- refiner support -------------------------------------------------------
+
+    def popular_approx(self, limit: int = 8) -> List[Tuple[QueryKey, int]]:
+        """Approximate entries by descending hit count — the refiner's
+        upgrade worklist."""
+        with self._lock:
+            candidates = [
+                (key, self._hit_counts.get(key, 0))
+                for key, entry in self._entries.items()
+                if not entry.is_exact
+            ]
+        candidates.sort(key=lambda kv: (-kv[1], repr(kv[0])))
+        return candidates[:limit]
 
     # -- maintenance -----------------------------------------------------------
 
@@ -97,11 +197,13 @@ class ResultCache:
             doomed = [k for k in self._entries if k[0] == fingerprint]
             for k in doomed:
                 self.bytes_used -= self._entries.pop(k).nbytes
+                self._hit_counts.pop(k, None)
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._hit_counts.clear()
             self.bytes_used = 0
 
     # -- accounting ------------------------------------------------------------
@@ -112,6 +214,11 @@ class ResultCache:
             return len(self._entries)
 
     @property
+    def approx_entry_count(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._entries.values() if not e.is_exact)
+
+    @property
     def hit_rate(self) -> float:
         """Hits over lookups since construction (0.0 before any lookup)."""
         total = self.hits + self.misses
@@ -119,12 +226,17 @@ class ResultCache:
 
     def stats(self) -> Dict[str, float]:
         with self._lock:
+            approx_entries = sum(
+                1 for e in self._entries.values() if not e.is_exact
+            )
             return {
                 "entries": len(self._entries),
+                "approx_entries": approx_entries,
                 "bytes_used": self.bytes_used,
                 "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "refinements": self.refinements,
                 "hit_rate": self.hit_rate,
             }

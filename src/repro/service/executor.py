@@ -128,6 +128,39 @@ class InlineExecutor:
             out.append((result.count, result.counters.as_dict()))
         return out
 
+    def estimate_batch(
+        self,
+        graph: TemporalGraph,
+        motifs: Sequence[Motif],
+        delta: int,
+        spec,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        on_round: Optional[Callable[[int, object], None]] = None,
+    ) -> List:
+        """Approximate each motif by inline adaptive interval sampling.
+
+        Returns per-motif :class:`~repro.approx.estimate.ApproxEstimate`
+        objects.  ``on_round(index, estimate)`` observes every completed
+        sampling round (the scheduler's partial-result stash for
+        deadline-degraded serving).  Byte-identical to the pooled path
+        by the per-sample-substream construction.
+        """
+        from repro.approx.engine import estimate_inline
+
+        out: List = []
+        for i, motif in enumerate(motifs):
+            if cancel_check is not None and cancel_check() and not out:
+                raise MiningCancelled("approx batch cancelled between motifs")
+            hook = (
+                (lambda est, _i=i: on_round(_i, est))
+                if on_round is not None
+                else None
+            )
+            out.append(
+                estimate_inline(graph, motif, delta, spec, cancel_check, hook)
+            )
+        return out
+
     def release_graph(self, fingerprint: str) -> None:  # noqa: ARG002
         """Inline mining holds no per-graph state; nothing to release."""
 
@@ -338,6 +371,74 @@ class PoolExecutor:
             return self._fallback.count_batch(graph, motifs, delta, cancel_check)
         breaker.record_success()
         return [(r.count, r.counters.as_dict()) for r in results]
+
+    def estimate_batch(
+        self,
+        graph: TemporalGraph,
+        motifs: Sequence[Motif],
+        delta: int,
+        spec,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        on_round: Optional[Callable[[int, object], None]] = None,
+    ) -> List:
+        """Approximate each motif with pool-chunked adaptive sampling.
+
+        Sample-index chunks ride the resident pool like mining chunks;
+        the estimate is byte-identical to the inline path because
+        per-sample substreams make batches chunking-invariant.  The
+        degradation story mirrors :meth:`count_batch`: an open breaker
+        (or a failing pool attempt) falls back to inline sampling —
+        which is *still* approximate-and-labelled, so the breaker path
+        serves bounded answers rather than rejecting.
+        """
+        from repro.approx.engine import adaptive_estimate
+        from repro.approx.sampler import window_length_for
+
+        fp = graph.fingerprint()
+        breaker = self._breaker_for(fp)
+        if not breaker.allow():
+            self.counters.inc("degraded_queries", len(motifs))
+            return self._fallback.estimate_batch(
+                graph, motifs, delta, spec, cancel_check, on_round
+            )
+        window = window_length_for(delta, spec)
+        out: List = []
+        try:
+            fault_point("executor.batch", graph=fp)
+            pool = self._pool_for(graph)
+            for i, motif in enumerate(motifs):
+                hook = (
+                    (lambda est, _i=i: on_round(_i, est))
+                    if on_round is not None
+                    else None
+                )
+                out.append(
+                    adaptive_estimate(
+                        lambda lo, hi, _m=motif: pool.sample_intervals(
+                            _m, delta, spec, lo, hi, cancel_check
+                        ),
+                        spec,
+                        window,
+                        cancel_check,
+                        hook,
+                    )
+                )
+        except MiningCancelled:
+            # Only escapes when a motif's *first* round was cancelled
+            # (later rounds return a truncated estimate); not a backend
+            # failure — release any half-open probe slot and re-raise.
+            breaker.cancel_probe()
+            raise
+        except Exception:  # noqa: BLE001 - any backend failure degrades
+            breaker.record_failure()
+            self.counters.inc("backend_failures")
+            self._evict_pool(fp)
+            self.counters.inc("degraded_queries", len(motifs))
+            return self._fallback.estimate_batch(
+                graph, motifs, delta, spec, cancel_check, on_round
+            )
+        breaker.record_success()
+        return out
 
     # -- lifecycle -------------------------------------------------------------
 

@@ -205,11 +205,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         delta = int(self._require(body, "delta"))
         motif = self._resolve_motif(body)
         timeout_s = body.get("timeout_s")
+        mode, approx = self._resolve_mode(body)
         result = self.service.query(
-            graph, motif, delta, timeout_s=timeout_s
+            graph, motif, delta, timeout_s=timeout_s, mode=mode, approx=approx
         )
         status, payload = _result_to_response(result)
         self._send_json(status, payload)
+
+    @staticmethod
+    def _resolve_mode(body: Dict):
+        """Parse the approximate-serving fields of a ``/query`` body.
+
+        ``mode: "approx"`` (or any of ``max_error`` / ``confidence`` /
+        ``seed`` / ``max_samples``) selects sampling with error bounds;
+        the default stays exact.
+        """
+        from repro.approx.estimate import APPROX, EXACT, ApproxSpec
+
+        mode = str(body.get("mode", EXACT))
+        approx_fields = ("max_error", "confidence", "seed", "max_samples")
+        if mode == EXACT and any(f in body for f in approx_fields):
+            mode = APPROX
+        if mode == EXACT:
+            return EXACT, None
+        if mode != APPROX:
+            raise _HTTPError(
+                400, f"unknown mode {mode!r}; expected 'exact' or 'approx'"
+            )
+        defaults = ApproxSpec()
+        try:
+            spec = ApproxSpec(
+                max_error=float(body.get("max_error", defaults.max_error)),
+                confidence=float(body.get("confidence", defaults.confidence)),
+                seed=int(body.get("seed", defaults.seed)),
+                max_samples=int(body.get("max_samples", defaults.max_samples)),
+            )
+        except ValueError as exc:
+            raise _HTTPError(400, f"bad approx parameters: {exc}") from None
+        return APPROX, spec
 
     def _handle_register_graph(self) -> None:
         from repro.graph.temporal_graph import TemporalGraph

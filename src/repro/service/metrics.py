@@ -62,6 +62,10 @@ class ResilienceCounters:
         "breaker_opens",
         "breaker_half_opens",
         "breaker_closes",
+        # -- approximate serving (repro.approx) --------------------------------
+        "approx_served",
+        "refined_entries",
+        "degraded_estimates",
     )
 
     def __init__(self) -> None:
@@ -154,6 +158,20 @@ class ServiceMetrics:
     #: True while any breaker is non-closed: queries on that graph are
     #: served by degraded serial mining rather than the worker pool.
     degraded: bool = False
+    # -- approximate serving (repro.approx) ------------------------------------
+    #: Answers served with error bounds instead of exact counts.
+    approx_served: int = 0
+    #: Approximate cache entries upgraded to exact by the refiner.
+    refined_entries: int = 0
+    #: Labelled estimates served where the service would otherwise have
+    #: rejected or 504'd (deadline expiry, queue-full shed).
+    degraded_estimates: int = 0
+    #: Achieved relative CI half-width ε over recent approx answers.
+    approx_eps_p50: float = 0.0
+    approx_eps_p99: float = 0.0
+    approx_eps_samples: int = 0
+    #: Gauge: cache entries currently carrying an approx accuracy tag.
+    approx_cache_entries: int = 0
 
     @property
     def coalesce_ratio(self) -> float:
@@ -208,5 +226,11 @@ class ServiceMetrics:
             ["breaker opens", self.breaker_opens],
             ["breakers open (now)", self.breakers_open],
             ["degraded", str(self.degraded).lower()],
+            ["approx served", self.approx_served],
+            ["refined entries", self.refined_entries],
+            ["degraded estimates", self.degraded_estimates],
+            ["approx eps p50", f"{self.approx_eps_p50:.4f}"],
+            ["approx eps p99", f"{self.approx_eps_p99:.4f}"],
+            ["approx cache entries", self.approx_cache_entries],
         ]
         return format_table(["metric", "value"], rows)

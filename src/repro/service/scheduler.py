@@ -41,12 +41,13 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.approx.estimate import APPROX, ApproxEstimate, ApproxSpec, build_approx_payload
 from repro.mining.parallel import MiningCancelled
 from repro.motifs.motif import Motif
 from repro.resilience.breaker import CLOSED
-from repro.service.cache import ResultCache
+from repro.service.cache import CachedResult, ResultCache
 from repro.service.metrics import (
     LatencyReservoir,
     ResilienceCounters,
@@ -67,7 +68,10 @@ from repro.service.registry import GraphRegistry
 class _Waiter:
     """One submitted request waiting on (possibly shared) execution."""
 
-    __slots__ = ("query", "event", "result", "deadline", "expired", "admit_t", "source")
+    __slots__ = (
+        "query", "event", "result", "deadline", "expired", "admit_t",
+        "source", "fallback",
+    )
 
     def __init__(self, query: MotifQuery, admit_t: float, source: str) -> None:
         self.query = query
@@ -79,20 +83,41 @@ class _Waiter:
         self.expired = False
         self.admit_t = admit_t
         self.source = source
+        #: Degradation hook: called on deadline expiry to serve the best
+        #: available *labelled* answer instead of a bare 504 (set by the
+        #: scheduler for queued/coalesced waiters; None keeps the old
+        #: behavior).
+        self.fallback: Optional["Callable[[_Waiter], Optional[QueryResult]]"] = None
 
 
 class _Entry:
-    """One distinct in-flight key and every waiter attached to it."""
+    """One distinct in-flight (key, mode, spec) and its waiters.
 
-    __slots__ = ("key", "fingerprint", "motif", "delta", "waiters", "state")
+    ``key`` is the cache triple; ``ckey`` additionally carries the query
+    mode and approx spec — exact and approximate requests for the same
+    triple must not coalesce (different answer contracts), but both
+    fill the same cache slot.  ``partial`` holds the latest completed
+    sampling round's estimate while an approx entry is running: the
+    deadline-degradation path serves it (labelled truncated) where the
+    service would otherwise 504.
+    """
+
+    __slots__ = (
+        "key", "ckey", "fingerprint", "motif", "delta", "waiters", "state",
+        "mode", "spec", "partial",
+    )
 
     def __init__(self, key: QueryKey, query: MotifQuery, waiter: _Waiter) -> None:
         self.key = key
+        self.ckey = (key, query.mode, query.approx)
         self.fingerprint = query.fingerprint
         self.motif: Motif = query.motif
         self.delta = int(query.delta)
         self.waiters: List[_Waiter] = [waiter]
         self.state = "queued"
+        self.mode = query.mode
+        self.spec: Optional[ApproxSpec] = query.approx
+        self.partial: Optional[ApproxEstimate] = None
 
     def all_expired(self, now: float) -> bool:
         """True when no attached waiter can still use the result."""
@@ -116,8 +141,12 @@ class PendingQuery:
 
         On deadline expiry the waiter is marked expired — the scheduler
         will skip the entry if it is still queued and cancel a running
-        batch once every attached waiter has expired — and a
-        ``"deadline_exceeded"`` result is returned.
+        batch once every attached waiter has expired.  If the scheduler
+        installed a degradation fallback and it can produce a *labelled*
+        answer (a partial sampling round flagged truncated, or any
+        cached entry with its accuracy tag), that is served instead of a
+        bare ``"deadline_exceeded"`` — never wrong, sometimes
+        approximate, always labelled.
         """
         w = self._waiter
         while True:
@@ -129,6 +158,10 @@ class PendingQuery:
                 return w.result  # type: ignore[return-value]
             if w.deadline is not None and time.monotonic() >= w.deadline:
                 w.expired = True
+                if w.fallback is not None:
+                    degraded = w.fallback(w)
+                    if degraded is not None:
+                        return degraded
                 return QueryResult(
                     status="deadline_exceeded",
                     source=w.source,
@@ -166,7 +199,8 @@ class QueryScheduler:
         self._lanes_count = int(lanes)
 
         self._cond = threading.Condition()
-        self._entries: Dict[QueryKey, _Entry] = {}
+        #: Coalescing map keyed by (cache key, mode, approx spec).
+        self._entries: Dict[Tuple, _Entry] = {}
         self._queue: Deque[_Entry] = deque()
         self._paused = False
         self._closed = False
@@ -179,6 +213,8 @@ class QueryScheduler:
         self.errors = 0
         self.cancelled = 0
         self.latency = LatencyReservoir(latency_capacity)
+        #: Achieved relative error of served approximate answers.
+        self.approx_eps = LatencyReservoir(latency_capacity)
         #: Shared with the executor so one snapshot shows both sides.
         self.counters = counters if counters is not None else (
             getattr(executor, "counters", None) or ResilienceCounters()
@@ -194,22 +230,57 @@ class QueryScheduler:
 
     # -- admission -------------------------------------------------------------
 
+    def _cache_acceptable(self, query: MotifQuery) -> Optional[CachedResult]:
+        """The cache entry (if any) that satisfies this query's contract.
+
+        Exact queries accept only exact entries.  Approx queries prefer
+        an exact entry (always), and accept an approximate one whose
+        achieved ε meets the requested ``max_error`` at no lower
+        confidence.
+        """
+        cached = self.cache.get(query.key, accept_approx=query.mode == APPROX)
+        if cached is None or cached.is_exact:
+            return cached
+        spec = query.approx
+        if (
+            spec is not None
+            and cached.achieved_eps <= spec.max_error
+            and float(cached.approx["confidence"]) >= spec.confidence - 1e-12
+        ):
+            return cached
+        return None
+
+    def _cached_payload(
+        self, fingerprint: str, motif: Motif, delta: int, cached: CachedResult
+    ) -> Dict:
+        """Rebuild the served payload for a cache entry (labelled)."""
+        if cached.is_exact:
+            return build_payload(
+                fingerprint, motif, delta, cached.count, cached.counters
+            )
+        payload = {
+            "graph": fingerprint,
+            "motif": motif.name,
+            "delta": int(delta),
+            "count": int(cached.count),
+            "counters": {k: int(v) for k, v in cached.counters.items()},
+        }
+        payload.update(cached.approx or {})
+        return payload
+
     def submit(self, query: MotifQuery) -> PendingQuery:
         """Admit one query; returns a handle (never blocks on mining)."""
         now = time.monotonic()
         key = query.key
+        ckey = (key, query.mode, query.approx)
         with self._cond:
             if self._closed:
                 raise ServiceClosed("scheduler is closed")
-            cached = self.cache.get(key)
+            cached = self._cache_acceptable(query)
             if cached is not None:
                 waiter = _Waiter(query, now, "cache")
-                payload = build_payload(
-                    query.fingerprint,
-                    query.motif,
-                    query.delta,
-                    cached.count,
-                    cached.counters,
+                payload = self._cached_payload(
+                    query.fingerprint, query.motif, query.delta, cached
                 )
                 latency = time.monotonic() - now
                 waiter.result = QueryResult("ok", payload, "cache", None, latency)
@@ -217,15 +288,42 @@ class QueryScheduler:
                 self.admitted += 1
                 self.completed += 1
                 self.latency.record(latency)
+                if not cached.is_exact:
+                    self.counters.inc("approx_served")
+                    self.approx_eps.record(cached.achieved_eps)
                 return PendingQuery(waiter)
-            entry = self._entries.get(key)
+            entry = self._entries.get(ckey)
             if entry is not None:
                 waiter = _Waiter(query, now, "coalesced")
+                waiter.fallback = self._make_fallback(entry)
                 entry.waiters.append(waiter)
                 self.admitted += 1
                 self.coalesced += 1
                 return PendingQuery(waiter)
             if len(self._queue) >= self.max_queue:
+                # Overload.  Before shedding, try the degradation ladder:
+                # *any* labelled cache entry for this triple (stale-tier
+                # approx, or exact an approx query would have taken
+                # anyway) beats a 429.
+                stale = self.cache.peek(key)
+                if stale is not None:
+                    waiter = _Waiter(query, now, "degraded")
+                    payload = self._cached_payload(
+                        query.fingerprint, query.motif, query.delta, stale
+                    )
+                    latency = time.monotonic() - now
+                    waiter.result = QueryResult(
+                        "ok", payload, "degraded", None, latency
+                    )
+                    waiter.event.set()
+                    self.admitted += 1
+                    self.completed += 1
+                    self.latency.record(latency)
+                    self.counters.inc("degraded_estimates")
+                    if not stale.is_exact:
+                        self.counters.inc("approx_served")
+                        self.approx_eps.record(stale.achieved_eps)
+                    return PendingQuery(waiter)
                 self.shed += 1
                 hint = self._retry_hint_locked()
                 raise QueryRejected(
@@ -235,11 +333,52 @@ class QueryScheduler:
                 )
             waiter = _Waiter(query, now, "mined")
             entry = _Entry(key, query, waiter)
-            self._entries[key] = entry
+            waiter.fallback = self._make_fallback(entry)
+            self._entries[ckey] = entry
             self._queue.append(entry)
             self.admitted += 1
             self._cond.notify_all()
             return PendingQuery(waiter)
+
+    def _make_fallback(
+        self, entry: _Entry
+    ) -> Callable[[_Waiter], Optional[QueryResult]]:
+        """Build the deadline-degradation hook for one entry's waiters.
+
+        Called from the *waiter's* thread at deadline expiry.  The
+        ladder: (1) the entry's last completed sampling round, served
+        truncated; (2) any cached entry for the triple, whatever its
+        accuracy tag.  Returns None when nothing labelled exists — the
+        caller then reports ``deadline_exceeded`` exactly as before.
+        """
+
+        def fallback(w: _Waiter) -> Optional[QueryResult]:
+            latency = time.monotonic() - w.admit_t
+            partial = entry.partial
+            if partial is not None:
+                est = partial.with_truncated(True)
+                payload = build_approx_payload(
+                    entry.fingerprint, w.query.motif, entry.delta, est
+                )
+                self.counters.inc("approx_served")
+                self.counters.inc("degraded_estimates")
+                self.approx_eps.record(est.achieved_eps)
+                self.latency.record(latency)
+                return QueryResult("ok", payload, "degraded", None, latency)
+            stale = self.cache.peek(entry.key)
+            if stale is not None:
+                payload = self._cached_payload(
+                    entry.fingerprint, w.query.motif, entry.delta, stale
+                )
+                self.counters.inc("degraded_estimates")
+                if not stale.is_exact:
+                    self.counters.inc("approx_served")
+                    self.approx_eps.record(stale.achieved_eps)
+                self.latency.record(latency)
+                return QueryResult("ok", payload, "degraded", None, latency)
+            return None
+
+        return fallback
 
     def _retry_hint_locked(self) -> float:
         """Retry-after estimate: backlog drained at recent p50 per lane."""
@@ -261,11 +400,18 @@ class QueryScheduler:
                         self._queue.clear()
                         break
                     group = [self._queue.popleft()]
-                    fp, delta = group[0].fingerprint, group[0].delta
+                    head = group[0]
+                    fp, delta = head.fingerprint, head.delta
+                    mode, spec = head.mode, head.spec
                     rest: Deque[_Entry] = deque()
                     while self._queue and len(group) < self.max_batch:
                         e = self._queue.popleft()
-                        if e.fingerprint == fp and e.delta == delta:
+                        if (
+                            e.fingerprint == fp
+                            and e.delta == delta
+                            and e.mode == mode
+                            and e.spec == spec
+                        ):
                             group.append(e)
                         else:
                             rest.append(e)
@@ -316,6 +462,10 @@ class QueryScheduler:
             t = time.monotonic()
             return all(e.all_expired(t) for e in live)
 
+        if live[0].mode == APPROX:
+            self._execute_approx_group(graph, live, delta)
+            return
+
         attempts = 0
         while True:
             try:
@@ -345,6 +495,98 @@ class QueryScheduler:
             self.cache.put(entry.key, count, counters)
             self._deliver(entry, "ok", count=count, counters=counters)
 
+    def _execute_approx_group(self, graph, live: List[_Entry], delta: int) -> None:
+        """Adaptive-sampling execution for one approx batch.
+
+        Each completed round is stashed on its entry (``partial``) so
+        deadline-expired waiters can be served the latest truncated
+        estimate; a run cancelled *after* its first round still delivers
+        that estimate (labelled truncated) to any waiters that have not
+        expired, instead of a 504.
+        """
+        spec = live[0].spec or ApproxSpec()
+
+        def cancel_check() -> bool:
+            t = time.monotonic()
+            return all(e.all_expired(t) for e in live)
+
+        def on_round(i: int, est: ApproxEstimate) -> None:
+            live[i].partial = est
+
+        estimate_batch = getattr(self.executor, "estimate_batch", None)
+        if estimate_batch is None:
+            # Backend without native sampling support (e.g. a cluster
+            # executor): estimate inline against the resident graph.
+            from repro.approx.engine import estimate_inline
+
+            def estimate_batch(graph, motifs, d, s, cancel, hook):  # noqa: ANN001
+                return [
+                    estimate_inline(
+                        graph, m, d, s, cancel,
+                        (lambda est, _i=i: hook(_i, est)) if hook else None,
+                    )
+                    for i, m in enumerate(motifs)
+                ]
+
+        attempts = 0
+        while True:
+            try:
+                estimates = estimate_batch(
+                    graph, [e.motif for e in live], delta, spec,
+                    cancel_check, on_round,
+                )
+                break
+            except MiningCancelled:
+                for entry in live:
+                    if entry.partial is not None:
+                        self._deliver_approx(
+                            entry, entry.partial.with_truncated(True)
+                        )
+                    else:
+                        self._deliver(
+                            entry,
+                            "deadline_exceeded",
+                            error="cancelled while running",
+                        )
+                return
+            except Exception as exc:  # noqa: BLE001 - must never wedge the lanes
+                attempts += 1
+                if attempts > 1:
+                    message = f"{type(exc).__name__}: {exc}"
+                    for entry in live:
+                        self._deliver(entry, "error", error=message)
+                    return
+                self.counters.inc("batch_retries")
+        for entry, est in zip(live, estimates):
+            self.cache.put(
+                entry.key,
+                int(round(est.estimate)),
+                est.counters,
+                accuracy=est.accuracy,
+                approx=est.stats_dict(),
+            )
+            self._deliver_approx(entry, est)
+
+    def _deliver_approx(self, entry: _Entry, est: ApproxEstimate) -> None:
+        """Deliver one labelled estimate to every waiter of an entry."""
+        now = time.monotonic()
+        with self._cond:
+            self._entries.pop(entry.ckey, None)
+            if entry.state == "running":
+                self._inflight -= 1
+            waiters = list(entry.waiters)
+            self.completed += len(waiters)
+        for w in waiters:
+            latency = now - w.admit_t
+            payload = build_approx_payload(
+                entry.fingerprint, w.query.motif, entry.delta, est
+            )
+            w.result = QueryResult("ok", payload, w.source, None, latency)
+            self.latency.record(latency)
+            self.counters.inc("approx_served")
+            self.approx_eps.record(est.achieved_eps)
+            w.event.set()
+
     def _deliver(
         self,
         entry: _Entry,
@@ -355,7 +597,7 @@ class QueryScheduler:
     ) -> None:
         now = time.monotonic()
         with self._cond:
-            self._entries.pop(entry.key, None)
+            self._entries.pop(entry.ckey, None)
             if entry.state == "running":
                 self._inflight -= 1
             waiters = list(entry.waiters)
@@ -403,6 +645,13 @@ class QueryScheduler:
     def dispatcher_alive(self) -> bool:
         return self._dispatcher.is_alive()
 
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or running — the refiner's gate
+        for spending capacity on cache upgrades."""
+        with self._cond:
+            return not self._queue and self._inflight == 0 and not self._closed
+
     # -- observability ---------------------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
@@ -417,6 +666,7 @@ class QueryScheduler:
             cancelled = self.cancelled
         cache_stats = self.cache.stats()
         quantiles = self.latency.quantiles()
+        eps_quantiles = self.approx_eps.quantiles()
         res = self.counters.snapshot()
         breaker_states = getattr(self.executor, "breaker_states", dict)()
         breakers_open = sum(1 for s in breaker_states.values() if s != CLOSED)
@@ -453,6 +703,13 @@ class QueryScheduler:
             breaker_closes=res["breaker_closes"],
             breakers_open=breakers_open,
             degraded=breakers_open > 0,
+            approx_served=res["approx_served"],
+            refined_entries=res["refined_entries"],
+            degraded_estimates=res["degraded_estimates"],
+            approx_eps_p50=eps_quantiles["p50_s"],
+            approx_eps_p99=eps_quantiles["p99_s"],
+            approx_eps_samples=self.approx_eps.recorded_total,
+            approx_cache_entries=int(cache_stats.get("approx_entries", 0)),
         )
 
     # -- lifecycle -------------------------------------------------------------

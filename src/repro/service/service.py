@@ -27,6 +27,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.approx.estimate import APPROX, EXACT, ApproxSpec
+from repro.approx.refiner import CacheRefiner
 from repro.graph.temporal_graph import TemporalGraph
 from repro.motifs.catalog import motif_by_name
 from repro.motifs.motif import Motif
@@ -67,6 +69,8 @@ class MotifService:
         max_idle_graphs: int = 4,
         executor=None,
         engine: str = "mackey",
+        refiner: bool = False,
+        refiner_interval_s: float = 0.05,
     ) -> None:
         self.registry = GraphRegistry(max_idle=max_idle_graphs)
         self.cache = ResultCache(max_bytes=cache_bytes)
@@ -99,6 +103,13 @@ class MotifService:
         self._streams: Dict[str, _LiveStream] = {}
         self._streams_lock = threading.Lock()
         self._closed = False
+        #: Optional background upgrade of popular approx cache entries
+        #: to exact results during idle capacity (`serve --refiner`).
+        self.refiner: Optional[CacheRefiner] = None
+        if refiner:
+            self.refiner = CacheRefiner(
+                self.scheduler, interval_s=refiner_interval_s
+            ).start()
 
     def _on_graph_evicted(self, fingerprint: str) -> None:
         self.cache.invalidate_fingerprint(fingerprint)
@@ -144,14 +155,26 @@ class MotifService:
         motif: MotifRef,
         delta: int,
         timeout_s: Optional[float] = None,
+        mode: str = EXACT,
+        approx: Optional[ApproxSpec] = None,
     ) -> PendingQuery:
         """Admit a query without blocking; raises
-        :class:`~repro.service.query.QueryRejected` under overload."""
+        :class:`~repro.service.query.QueryRejected` under overload.
+
+        ``mode="approx"`` answers from sampled intervals with error
+        bounds; ``approx`` carries the accuracy contract
+        (``max_error``/``confidence``/``seed``), defaulting to
+        :class:`~repro.approx.estimate.ApproxSpec`'s defaults.
+        """
+        if approx is not None and mode == EXACT:
+            mode = APPROX
         query = MotifQuery(
             fingerprint=self._resolve_graph(graph),
             motif=self._resolve_motif(motif),
             delta=int(delta),
             timeout_s=timeout_s,
+            mode=mode,
+            approx=approx,
         )
         return self.scheduler.submit(query)
 
@@ -161,9 +184,13 @@ class MotifService:
         motif: MotifRef,
         delta: int,
         timeout_s: Optional[float] = None,
+        mode: str = EXACT,
+        approx: Optional[ApproxSpec] = None,
     ) -> QueryResult:
         """Submit and block for the result (or deadline)."""
-        return self.submit(graph, motif, delta, timeout_s).result()
+        return self.submit(
+            graph, motif, delta, timeout_s, mode=mode, approx=approx
+        ).result()
 
     # -- live streams ----------------------------------------------------------
 
@@ -282,6 +309,8 @@ class MotifService:
         if self._closed:
             return
         self._closed = True
+        if self.refiner is not None:
+            self.refiner.close()
         self.scheduler.close()
         self.executor.close()
 

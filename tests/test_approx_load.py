@@ -1,0 +1,188 @@
+"""Concurrent-load acceptance test for approximate serving.
+
+64 client threads drive the service in approx mode, first cold and then
+under injected deadline pressure, and the approximate-serving contract
+is asserted all at once:
+
+- **zero unlabelled answers** — every response is either exact or
+  carries the full ``{estimate, stderr, ci, accuracy}`` error-bound
+  block; nothing is served without its accuracy tag;
+- **the contract is honoured** — achieved ε ≤ the requested
+  ``max_error`` on every answer that was not deadline-truncated;
+- **determinism under concurrency** — all clients sharing a key get
+  payloads byte-identical to a single-threaded inline run of the same
+  ``(graph, motif, δ, seed)``;
+- **deadline pressure degrades, never drops** — with timeouts far too
+  tight for the requested accuracy, every client still receives a
+  labelled (truncated or stale-cache) estimate instead of a 504.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.approx.engine import estimate_inline
+from repro.approx.estimate import ApproxSpec, build_approx_payload
+from repro.motifs.catalog import EVALUATION_MOTIFS
+from repro.service import MotifService, payload_bytes
+
+NUM_CLIENTS = 64
+DELTAS = (20, 40)
+SEED = 20260808
+
+#: The served accuracy contract: wide enough to converge fast on the
+#: load graph, budgeted high enough that convergence always wins.
+SPEC = ApproxSpec(max_error=0.5, seed=3, base_samples=16, max_samples=4096)
+
+APPROX_FIELDS = {
+    "estimate", "stderr", "ci", "confidence", "achieved_eps",
+    "num_samples", "seed", "truncated", "accuracy",
+}
+
+
+def assert_labelled(payload):
+    """Every served answer must carry its accuracy tag — the acceptance
+    bar: exact, or the full error-bound block."""
+    assert "accuracy" in payload, sorted(payload)
+    if payload["accuracy"] == "exact":
+        return
+    assert payload["accuracy"].startswith("approx(eps=")
+    assert APPROX_FIELDS <= set(payload), sorted(payload)
+
+
+@pytest.fixture(scope="module")
+def load_graph():
+    rng = random.Random(7)
+    edges = [
+        (rng.randrange(12), rng.randrange(12), rng.randrange(200))
+        for _ in range(60)
+    ]
+    edges = [(s, d if d != s else (d + 1) % 12, t) for s, d, t in edges]
+    from repro.graph.temporal_graph import TemporalGraph
+
+    return TemporalGraph(edges, num_nodes=12)
+
+
+@pytest.fixture(scope="module")
+def expected_bytes(load_graph):
+    """Ground truth: the inline engine's labelled payload per key."""
+    out = {}
+    for motif in EVALUATION_MOTIFS:
+        for delta in DELTAS:
+            est = estimate_inline(load_graph, motif, delta, SPEC)
+            out[(motif.name, delta)] = payload_bytes(
+                build_approx_payload(
+                    load_graph.fingerprint(), motif, delta, est
+                )
+            )
+    return out
+
+
+def client_plan():
+    rng = random.Random(SEED)
+    keys = [(m, d) for m in EVALUATION_MOTIFS for d in DELTAS]
+    return [keys[rng.randrange(len(keys))] for _ in range(NUM_CLIENTS)]
+
+
+def run_wave(svc, load_graph, plan, *, timeout_s=None, spec=SPEC):
+    ready = threading.Barrier(NUM_CLIENTS + 1)
+    results = [None] * NUM_CLIENTS
+    failures = []
+
+    def client(i: int, motif, delta) -> None:
+        try:
+            ready.wait(timeout=30)
+            results[i] = svc.query(
+                load_graph, motif, delta, timeout_s=timeout_s, approx=spec
+            )
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append((i, repr(exc)))
+
+    threads = [
+        threading.Thread(target=client, args=(i, m, d))
+        for i, (m, d) in enumerate(plan)
+    ]
+    for t in threads:
+        t.start()
+    ready.wait(timeout=30)
+    for t in threads:
+        t.join(timeout=120)
+    assert failures == []
+    return results
+
+
+@pytest.mark.timeout(300)
+class TestApproxLoad:
+    def test_acceptance_load(self, load_graph, expected_bytes):
+        plan = client_plan()
+        assert len(set(plan)) <= NUM_CLIENTS // 2  # heavy duplication
+
+        with MotifService(max_queue=NUM_CLIENTS, lanes=4) as svc:
+            svc.register_graph(load_graph, name="load")
+
+            # -- wave 1: cold, unconstrained — the accuracy contract ----------
+            results = run_wave(svc, load_graph, plan)
+            for (motif, delta), result in zip(plan, results):
+                assert result is not None and result.ok, result
+                payload = result.payload
+                assert_labelled(payload)
+                assert payload["truncated"] is False
+                # Converged within budget: the requested error bound holds.
+                assert payload["achieved_eps"] <= SPEC.max_error
+                # Deterministic under concurrency: byte-identical to the
+                # single-threaded inline engine.
+                assert payload_bytes(payload) == expected_bytes[
+                    (motif.name, delta)
+                ]
+
+            m = svc.metrics()
+            assert m.errors == 0
+            assert m.approx_served >= NUM_CLIENTS
+            assert m.approx_eps_p99 <= SPEC.max_error
+            assert m.approx_cache_entries == len(set(plan))
+
+            # -- wave 2: injected deadline pressure ---------------------------
+            # An unreachable error target under a 150 ms deadline: no
+            # run can converge, so every answer must come off the
+            # degradation ladder — a truncated partial round or the
+            # stale cache tier — and stay labelled.  Zero 504s.
+            strict = ApproxSpec(
+                max_error=1e-12, seed=3, base_samples=16,
+                max_samples=1 << 30,
+            )
+            degraded = run_wave(
+                svc, load_graph, plan, timeout_s=0.15, spec=strict
+            )
+            for result in degraded:
+                assert result is not None and result.ok, result
+                payload = result.payload
+                assert_labelled(payload)
+                # Zero-variance keys (motifs the graph barely contains)
+                # legitimately meet even 1e-12 and hit the cache; every
+                # other answer must come off the ladder, labelled as
+                # a truncated partial or a stale looser estimate.
+                assert result.source in ("degraded", "cache")
+                if result.source == "degraded":
+                    assert payload["truncated"] or (
+                        payload["achieved_eps"] > strict.max_error
+                    )
+            # The deadline pressure was real: at least one answer was
+            # served off the degradation ladder.
+            assert any(r.source == "degraded" for r in degraded)
+
+            m = svc.metrics()
+            assert m.errors == 0
+            assert m.cancelled == 0  # degraded serving, not 504s
+            assert m.degraded_estimates + m.cache_hits > 0
+
+            # -- final snapshot: the accuracy telemetry is populated ----------
+            assert m.approx_eps_samples >= NUM_CLIENTS
+            # p50 can legitimately be 0.0 (zero-variance keys); p99
+            # reflects the nonzero-count keys' achieved error.
+            assert m.approx_eps_p99 > 0
+            rendered = svc.render_metrics()
+            assert "approx served" in rendered
+            assert "approx eps p99" in rendered

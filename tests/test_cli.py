@@ -183,7 +183,10 @@ class TestJsonOutput:
         assert main(["mine", path, "--motif", "M1", "--delta", str(delta),
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"graph", "motif", "delta", "count", "counters"}
+        assert set(payload) == {
+            "graph", "motif", "delta", "count", "counters", "accuracy",
+        }
+        assert payload["accuracy"] == "exact"
         assert payload["motif"] == "M1"
         assert payload["graph"] == g.fingerprint()
         from repro.mining.mackey import count_motifs

@@ -340,6 +340,7 @@ class TestPayload:
             "delta": 10,
             "count": 3,
             "counters": {"edges": 2},
+            "accuracy": "exact",
         }
 
     def test_payload_bytes_deterministic(self):
