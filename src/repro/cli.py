@@ -16,7 +16,13 @@ Commands
 - ``chaos`` — mine under seeded fault injection (worker kills, delays)
   with the supervised pool and verify byte-parity against the serial
   miner (``repro.resilience``); ``--cluster`` drills whole-node deaths
-  across a sharded mining cluster instead (``repro.cluster``).
+  across a sharded mining cluster instead (``repro.cluster``);
+  ``--live`` crashes the live ingest path around its commit point and
+  proves idempotent resume (``repro.live``).
+- ``live`` — replay a dataset as a live ingest feed against a served
+  ``repro.live`` graph with standing subscriptions, then verify every
+  fired event and the final window snapshot byte-for-byte against the
+  offline streaming replay.
 """
 
 from __future__ import annotations
@@ -316,12 +322,85 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, default=3, metavar="N",
         help="cluster worker nodes for --cluster (default 3)",
     )
+    chaos.add_argument(
+        "--live", action="store_true",
+        help="drill the live ingest path instead: seeded crashes before "
+        "and after batch commit, retrying producer, then assert no "
+        "edge loss/duplication and that subscriptions re-fired the "
+        "exact offline event stream (repro.live)",
+    )
+    chaos.add_argument(
+        "--batch-size", type=int, default=25, metavar="N",
+        help="edges per ingest batch for --live (default 25)",
+    )
+    chaos.add_argument("--scale", type=float, default=1.0,
+                       help="generator scale (dataset-name graphs)")
+
+    live = sub.add_parser(
+        "live",
+        help="replay a dataset as a live ingest feed with standing "
+        "subscriptions and verify firings against offline replay "
+        "(repro.live)",
+    )
+    live.add_argument(
+        "graph",
+        help="SNAP text file, or a generator dataset name "
+        f"({', '.join(DATASET_NAMES)})",
+    )
+    live.add_argument(
+        "--delta", type=int, default=None,
+        help="window (s); default time_span // 40",
+    )
+    live.add_argument(
+        "--subs", type=int, default=100, metavar="N",
+        help="standing subscriptions to register (default 100)",
+    )
+    live.add_argument(
+        "--batch-size", type=int, default=50, metavar="N",
+        help="edges per ingest batch (default 50)",
+    )
+    live.add_argument(
+        "--shuffle", choices=("none", "block", "full"), default="none",
+        help="perturb arrival order through the reorder buffer "
+        "(default none)",
+    )
+    live.add_argument("--seed", type=int, default=0,
+                      help="shuffle/generator seed")
+    live.add_argument("--scale", type=float, default=1.0,
+                      help="generator scale (dataset-name inputs)")
+    live.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the offline-replay parity check (throughput only)",
+    )
 
     return parser
 
 
 def _load(path: str):
     return load_snap_text(path)
+
+
+def _resolve_graph_arg(args):
+    """``(graph, source)`` from a file path or generator dataset name.
+
+    Raises :class:`SystemExit`-friendly ``ValueError`` when neither; the
+    ``scale``/``seed`` attributes (when present) parameterize generated
+    datasets.
+    """
+    import os
+
+    scale = getattr(args, "scale", 1.0)
+    seed = getattr(args, "seed", 0)
+    if os.path.exists(args.graph):
+        return _load(args.graph), args.graph
+    if args.graph in DATASET_NAMES or args.graph in {
+        "em", "mo", "ub", "su", "wt", "so"
+    }:
+        graph = make_dataset(args.graph, scale=scale, seed=seed)
+        return graph, f"{args.graph} (generated, scale={scale}, seed={seed})"
+    raise ValueError(
+        f"{args.graph!r} is neither a file nor a dataset name"
+    )
 
 
 def cmd_generate(args) -> int:
@@ -611,8 +690,6 @@ def cmd_info(args) -> int:
 
 
 def cmd_stream(args) -> int:
-    import os
-
     from repro.motifs.catalog import motif_by_name as _by_name
     from repro.streaming import (
         StreamingCatalogCounter,
@@ -626,16 +703,10 @@ def cmd_stream(args) -> int:
     if args.catalog and args.grid:
         print("error: --catalog and --grid are mutually exclusive")
         return 2
-    if os.path.exists(args.graph):
-        graph = _load(args.graph)
-        source = args.graph
-    elif args.graph in DATASET_NAMES or args.graph in {
-        "em", "mo", "ub", "su", "wt", "so"
-    }:
-        graph = make_dataset(args.graph, scale=args.scale, seed=args.seed)
-        source = f"{args.graph} (generated, scale={args.scale}, seed={args.seed})"
-    else:
-        print(f"error: {args.graph!r} is neither a file nor a dataset name")
+    try:
+        graph, source = _resolve_graph_arg(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
         return 2
 
     if args.grid:
@@ -780,6 +851,54 @@ def _cmd_chaos_cluster(args) -> int:
     return 0
 
 
+def _cmd_chaos_live(args) -> int:
+    """The live-ingest chaos drill (``repro chaos --live``).
+
+    Replays a dataset as sequence-numbered ingest batches while a
+    seeded plan crashes the append path before and after its commit
+    point; the retrying producer must leave the graph with no edge lost
+    or duplicated, post-commit retries must be answered from the
+    idempotency ledger (``duplicate: true``), and every standing
+    subscription must have fired exactly the offline-replay event
+    stream.  Exit 0 = all invariants held.
+    """
+    from repro.live.driver import run_live_chaos
+
+    try:
+        graph, source = _resolve_graph_arg(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    report = run_live_chaos(
+        graph,
+        delta=args.delta,
+        batch_size=args.batch_size,
+        kills=args.kills,
+        seed=args.seed,
+    )
+    checks = report["checks"]
+    rows = [
+        ["graph", source],
+        ["edges", f"{report['edges']:,}"],
+        ["batches", report["batches"]],
+        ["injected crashes", report["injected_faults"]],
+        ["crash sites", " ".join(
+            f"{b}:{m}" for b, m in report["failures"].items()) or "-"],
+        ["producer retries", report["retries"]],
+        ["duplicate acks", report["duplicate_acks"]],
+        ["events fired", report["events_total"]],
+    ] + [
+        [name.replace("_", " "), "OK" if ok else "FAILED"]
+        for name, ok in checks.items()
+    ]
+    print(format_table(["live chaos", "value"], rows))
+    if not report["ok"]:
+        failed = [n for n, ok in checks.items() if not ok]
+        print(f"LIVE CHAOS FAILED: {', '.join(failed)}")
+        return 1
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Exercise the failure path on purpose, then prove it was harmless.
 
@@ -788,10 +907,17 @@ def cmd_chaos(args) -> int:
     compares counts and search counters byte-for-byte against the
     serial miner.  Exit 0 = parity held; 1 = it did not (a real bug).
     With ``--cluster``, drills whole-node deaths across a sharded
-    cluster instead (see :func:`_cmd_chaos_cluster`).
+    cluster instead (see :func:`_cmd_chaos_cluster`); with ``--live``,
+    drills ingest-path crashes on a live graph
+    (see :func:`_cmd_chaos_live`).
     """
     from repro.resilience import FaultPlan, SupervisedMiningPool
 
+    if getattr(args, "cluster", False) and getattr(args, "live", False):
+        print("error: --cluster and --live are mutually exclusive")
+        return 2
+    if getattr(args, "live", False):
+        return _cmd_chaos_live(args)
     if getattr(args, "cluster", False):
         return _cmd_chaos_cluster(args)
     graph = _load(args.graph)
@@ -839,6 +965,72 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_live(args) -> int:
+    """Replay a dataset as a live feed and verify against offline.
+
+    Self-hosts a :class:`MotifService` + HTTP server on a free port,
+    creates a live graph, registers ``--subs`` standing subscriptions
+    (catalog motifs, a mix of every-update and threshold alerts), POSTs
+    the dataset as sequence-numbered edge batches — optionally shuffled
+    through the reorder buffer — then reads every fired event back over
+    HTTP and byte-compares the lot (plus the final window snapshot's
+    fingerprint) against the offline ``repro.streaming`` replay.
+    Exit 0 = parity held; 1 = it did not.
+    """
+    from repro.live.driver import run_live_feed
+
+    try:
+        graph, source = _resolve_graph_arg(args)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    delta = args.delta if args.delta is not None else max(
+        1, graph.time_span // 40
+    )
+    report = run_live_feed(
+        graph,
+        delta=delta,
+        num_subs=args.subs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        shuffle=args.shuffle,
+        verify=not args.no_verify,
+    )
+    rows = [
+        ["graph", source],
+        ["delta (s)", delta],
+        ["edges ingested", f"{report['edges']:,}"],
+        ["batches", report["batches"]],
+        ["arrival order", report["shuffle"]],
+        ["final version", report["version"]],
+        ["late dropped", report["late_dropped"]],
+        ["subscriptions", report["subscriptions"]],
+        ["subscriptions fired", report["subs_fired"]],
+        ["events fired", f"{report['events_total']:,}"],
+        ["alerts fired", report["alerts_total"]],
+        ["ingest rate (edges/s)", f"{report['edges_per_s']:,.0f}"],
+    ]
+    if "metrics" in report:
+        m = report["metrics"]
+        rows.append(
+            ["delivery lag p99 (ms)",
+             f"{m['delivery_lag_p99_s'] * 1e3:.2f}"]
+        )
+    parity_label = (
+        "skipped" if args.no_verify
+        else ("OK" if report["parity"] else "FAILED")
+    )
+    rows.append(["parity vs offline replay", parity_label])
+    print(format_table(["live feed", "value"], rows))
+    if not report["parity"]:
+        print(
+            "PARITY FAILED: live subscription firings diverged from the "
+            f"offline streaming replay for {report['mismatched_subs']}"
+        )
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
     service, server = build_serve_server(args)
     host, port = server.server_address[:2]
@@ -872,6 +1064,7 @@ _COMMANDS = {
     "stream": cmd_stream,
     "serve": cmd_serve,
     "chaos": cmd_chaos,
+    "live": cmd_live,
 }
 
 

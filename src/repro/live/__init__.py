@@ -1,0 +1,42 @@
+"""repro.live — live edge ingestion and standing motif subscriptions.
+
+Turns the serving layer from request/response into ingest/notify:
+clients append edge batches to named mutable graphs
+(:class:`~repro.live.ingest.LiveGraph`), register standing motif
+queries (:class:`~repro.live.subscriptions.Subscription`) and receive
+pushed events — per-window updates and threshold alerts — through
+bounded at-least-once outboxes (:class:`~repro.live.outbox.Outbox`).
+Every live firing is checkable byte-for-byte against an offline
+``repro.streaming`` replay (:mod:`repro.live.oracle`).
+"""
+
+from repro.live.ingest import LiveGraph, ReorderBuffer
+from repro.live.manager import LiveManager
+from repro.live.oracle import (
+    SubSpec,
+    offline_replay,
+    schedule_from_acks,
+    sorted_arrivals,
+)
+from repro.live.outbox import Outbox
+from repro.live.subscriptions import (
+    THRESHOLD,
+    UPDATE,
+    Subscription,
+    WindowTracker,
+)
+
+__all__ = [
+    "LiveGraph",
+    "LiveManager",
+    "Outbox",
+    "ReorderBuffer",
+    "SubSpec",
+    "Subscription",
+    "THRESHOLD",
+    "UPDATE",
+    "WindowTracker",
+    "offline_replay",
+    "schedule_from_acks",
+    "sorted_arrivals",
+]

@@ -1,0 +1,179 @@
+"""Offline oracle: replay a live feed through ``repro.streaming``.
+
+The live path and this oracle share *nothing* of the counting plumbing:
+
+- **live** routes edges through a :class:`ReorderBuffer`, one shared
+  :class:`StreamBuffer` (which computes adjusted timestamps once per
+  graph), and hands ``(src, dst, t_adj)`` to each subscription's
+  :class:`MotifStreamEngine`;
+- **offline** feeds each subscription an independent
+  :class:`~repro.streaming.counter.StreamingCounter` — the canonical
+  PR-2 replay machinery, owning its *own* buffer and its own timestamp
+  adjustment — over the time-sorted edge sequence.
+
+What they do share are the event builders and the
+:class:`~repro.live.subscriptions.WindowTracker` evaluation rule, so a
+byte-for-byte match between live firings and oracle events proves the
+live data path (reordering, shared-buffer adjustment, per-batch
+evaluation, outbox seq stamping) is equivalent to an offline replay —
+not merely that one formatting function agrees with itself.
+
+The oracle consumes the ingest **schedule** — ``(version,
+released_count)`` per committed batch, read off the live acks — so it
+evaluates subscriptions at exactly the batch boundaries the live side
+did.  The edge order it assumes is the reorder buffer's release order: a
+stable timestamp sort of the arrival sequence (release ties break by
+arrival index, which is what a stable sort preserves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.live.subscriptions import (
+    THRESHOLD,
+    UPDATE,
+    WindowTracker,
+    build_alert_event,
+    build_update_event,
+)
+from repro.motifs.motif import Motif
+from repro.streaming.counter import StreamingCounter
+from repro.streaming.window import StreamBuffer
+
+Edge = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SubSpec:
+    """A subscription as the oracle sees it (no outbox, no engine)."""
+
+    sub_id: str
+    motif: Motif
+    delta: int
+    kind: str = UPDATE
+    threshold: Optional[int] = None
+
+
+def sorted_arrivals(edges: Iterable[Edge]) -> List[Edge]:
+    """Arrival sequence in reorder-buffer release order.
+
+    A *stable* sort on timestamp: the heap releases equal timestamps in
+    arrival order, which is exactly what stable sorting preserves.
+    """
+    return sorted(((int(s), int(d), int(t)) for s, d, t in edges),
+                  key=lambda e: e[2])
+
+
+def schedule_from_acks(acks: Sequence[Dict]) -> List[Tuple[int, int]]:
+    """``(version, released_count)`` per committed (non-empty) batch."""
+    schedule: List[Tuple[int, int]] = []
+    for ack in acks:
+        if ack.get("duplicate") or ack.get("released", 0) == 0:
+            continue
+        schedule.append((int(ack["version"]), int(ack["released"])))
+    return schedule
+
+
+def offline_replay(
+    edges: Sequence[Edge],
+    specs: Sequence[SubSpec],
+    schedule: Sequence[Tuple[int, int]],
+    graph_name: str,
+    graph_delta: int,
+) -> Dict:
+    """Replay ``edges`` offline at the live side's batch boundaries.
+
+    ``edges`` must already be in release order (see
+    :func:`sorted_arrivals`); ``schedule`` says how many of them each
+    version consumed.  Returns the expected per-subscription event
+    streams (seq-stamped exactly as the live outbox stamps them), final
+    counts, and the final window snapshot's fingerprint.
+    """
+    counters: Dict[str, StreamingCounter] = {}
+    trackers: Dict[str, WindowTracker] = {}
+    seqs: Dict[str, int] = {}
+    events: Dict[str, List[Dict]] = {}
+    for spec in specs:
+        counters[spec.sub_id] = StreamingCounter(spec.motif, int(spec.delta))
+        trackers[spec.sub_id] = WindowTracker(int(spec.delta))
+        seqs[spec.sub_id] = 0
+        events[spec.sub_id] = []
+
+    graph_buffer = StreamBuffer(int(graph_delta))
+    pos = 0
+    for version, released in schedule:
+        batch = edges[pos:pos + released]
+        pos += released
+        if len(batch) != released:
+            raise ValueError(
+                f"schedule consumes {pos} edges but only "
+                f"{len(edges)} were provided"
+            )
+        batch_completed = {spec.sub_id: 0 for spec in specs}
+        for s, d, t in batch:
+            graph_buffer.append(s, d, t)
+            for spec in specs:
+                counter = counters[spec.sub_id]
+                completed = counter.add_edge(s, d, t)
+                # The counter's own buffer runs the same uniquification
+                # recurrence over the same sequence, so its t_now *is*
+                # this edge's adjusted timestamp.
+                trackers[spec.sub_id].record(
+                    counter.buffer.t_now, completed
+                )
+                batch_completed[spec.sub_id] += completed
+
+        t_now = graph_buffer.t_now
+        window_edges = graph_buffer.window_size
+        for spec in specs:
+            tracker = trackers[spec.sub_id]
+            tracker.expire(t_now)
+            event: Optional[Dict] = None
+            if spec.kind == UPDATE:
+                event = build_update_event(
+                    spec.sub_id,
+                    graph_name,
+                    spec.motif.name,
+                    spec.delta,
+                    version,
+                    t_now,
+                    counters[spec.sub_id].count,
+                    batch_completed[spec.sub_id],
+                    tracker.window_count,
+                    window_edges,
+                )
+            elif spec.kind == THRESHOLD and tracker.crossed(spec.threshold):
+                event = build_alert_event(
+                    spec.sub_id,
+                    graph_name,
+                    spec.motif.name,
+                    spec.delta,
+                    version,
+                    t_now,
+                    counters[spec.sub_id].count,
+                    tracker.window_count,
+                    spec.threshold,
+                )
+            if event is not None:
+                seqs[spec.sub_id] += 1
+                event["seq"] = seqs[spec.sub_id]
+                events[spec.sub_id].append(event)
+
+    if pos != len(edges):
+        raise ValueError(
+            f"schedule consumed {pos} of {len(edges)} edges — the live "
+            "side must have buffered or dropped the rest"
+        )
+    return {
+        "graph": graph_name,
+        "events": events,
+        "counts": {
+            spec.sub_id: counters[spec.sub_id].count for spec in specs
+        },
+        "num_edges": graph_buffer.num_edges,
+        "t_now": graph_buffer.t_now,
+        "window_edges": graph_buffer.window_size,
+        "window_fingerprint": graph_buffer.window_snapshot().fingerprint(),
+    }

@@ -1,0 +1,196 @@
+"""Per-subscriber event outbox: bounded, at-least-once, gap-aware.
+
+Push delivery must never let one slow consumer wedge ingestion or
+starve its peers, so every subscription owns one :class:`Outbox` —
+
+- **appends never block**: the outbox is a bounded ring; when a
+  subscriber falls more than ``capacity`` events behind, the oldest
+  retained event is dropped (and counted) rather than stalling the
+  ingest thread;
+- **delivery is at-least-once**: reads do not consume.  Every event
+  carries a monotonically increasing per-subscription ``seq``; a client
+  reads "everything after seq N" and advances its own cursor, so a
+  crashed or reconnecting client simply re-asks with its last seen seq
+  and gets redelivered anything it missed;
+- **losses are explicit**: when a client's cursor points below the
+  oldest retained event, the read is fronted by a synthetic ``gap``
+  event naming the dropped seq range — the client knows exactly what it
+  lost and can resync (e.g. re-query the live window) instead of
+  silently missing alerts.
+
+Delivery lag (read time minus enqueue time) is recorded per delivered
+event into a shared reservoir, surfacing the ``delivery_lag_p99``
+metric at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+class Outbox:
+    """Bounded drop-oldest event buffer for one subscriber."""
+
+    def __init__(
+        self,
+        owner: str,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+        on_drop: Optional[Callable[[int], None]] = None,
+        on_deliver: Optional[Callable[[int, float], None]] = None,
+        on_gap: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("outbox capacity must be positive")
+        self.owner = owner
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._on_drop = on_drop
+        self._on_deliver = on_deliver
+        self._on_gap = on_gap
+        self._cond = threading.Condition()
+        #: Retained events as ``(seq, enqueue_t, event)``; oldest first.
+        self._events: Deque[Tuple[int, float, Dict]] = deque()
+        self._next_seq = 1
+        self._closed = False
+        self.appended_total = 0
+        self.dropped_total = 0
+        self.delivered_total = 0
+        self.gap_events_total = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def append(self, event: Dict) -> int:
+        """Enqueue one event (never blocks); returns its assigned seq.
+
+        The event dict is copied and stamped with ``"seq"``.  When the
+        buffer is full the oldest retained event is dropped — the next
+        read below that point will surface a ``gap`` event instead.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(f"outbox {self.owner!r} is closed")
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            stamped = dict(event)
+            stamped["seq"] = seq
+            dropped = 0
+            while len(self._events) >= self.capacity:
+                self._events.popleft()
+                dropped += 1
+            self._events.append((seq, self._clock(), stamped))
+            self.appended_total += 1
+            self.dropped_total += dropped
+            self._cond.notify_all()
+        if dropped and self._on_drop is not None:
+            self._on_drop(dropped)
+        return seq
+
+    # -- consumer side ---------------------------------------------------------
+
+    def _read_locked(self, after: int, max_events: Optional[int]) -> List[Dict]:
+        limit = max_events if max_events is not None else float("inf")
+        if limit <= 0:
+            return []
+        out: List[Dict] = []
+        first_retained = self._events[0][0] if self._events else self._next_seq
+        if after + 1 < first_retained:
+            # The cursor points below the ring: everything in
+            # (after, first_retained) is gone.  Say so explicitly.
+            gap = {
+                "type": "gap",
+                "subscription": self.owner,
+                "from_seq": after + 1,
+                "to_seq": first_retained - 1,
+                "dropped": first_retained - 1 - after,
+                "seq": first_retained - 1,
+            }
+            out.append(gap)
+            self.gap_events_total += 1
+            if self._on_gap is not None:
+                self._on_gap(1)
+            after = first_retained - 1
+        now = self._clock()
+        delivered = 0
+        lag_last = 0.0
+        for seq, enq_t, event in self._events:
+            if seq <= after or len(out) >= limit:
+                continue
+            out.append(event)
+            delivered += 1
+            lag_last = now - enq_t
+            if self._on_deliver is not None:
+                self._on_deliver(1, lag_last)
+        self.delivered_total += delivered
+        return out
+
+    def read_after(
+        self, after: int, max_events: Optional[int] = None
+    ) -> List[Dict]:
+        """Non-blocking: events with seq > ``after`` (gap event first if
+        the cursor fell off the ring).  Reads never consume."""
+        with self._cond:
+            return self._read_locked(int(after), max_events)
+
+    def wait_events(
+        self,
+        after: int,
+        timeout_s: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> List[Dict]:
+        """Blocking read: wait until something past ``after`` exists (or
+        the outbox closes, or ``timeout_s`` elapses — then [])."""
+        deadline = (
+            self._clock() + timeout_s if timeout_s is not None else None
+        )
+        with self._cond:
+            while True:
+                events = self._read_locked(int(after), max_events)
+                if events or self._closed:
+                    return events
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return []
+                    self._cond.wait(remaining)
+
+    # -- introspection / lifecycle ---------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Highest seq ever assigned (0 before the first event)."""
+        with self._cond:
+            return self._next_seq - 1
+
+    @property
+    def retained(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "appended": self.appended_total,
+                "retained": len(self._events),
+                "dropped": self.dropped_total,
+                "delivered": self.delivered_total,
+                "gap_events": self.gap_events_total,
+                "last_seq": self._next_seq - 1,
+                "capacity": self.capacity,
+            }
+
+    def close(self) -> None:
+        """Wake every blocked reader; further appends raise."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,266 @@
+"""Standing motif queries over a live graph, evaluated per ingest batch.
+
+A :class:`Subscription` is the streaming dual of a ``/query`` request:
+instead of asking once, a client registers interest and the service
+pushes.  Two kinds:
+
+- ``"update"`` — fire on every ingest batch that released at least one
+  edge, carrying the subscription's cumulative count, its count inside
+  the trailing δ-window, and stream occupancy;
+- ``"threshold"`` — the alerting form: fire when the number of matches
+  completed inside the trailing δ-window rises **above** ``threshold``,
+  then re-arm once it falls back to or below it (edge-triggered, so a
+  sustained burst produces one alert, not one per batch).
+
+Each subscription owns its incremental state — one
+:class:`~repro.streaming.counter.MotifStreamEngine` (the same
+continuation tables, under the same heap-eviction memory bounds, as the
+offline streaming counters) plus a :class:`WindowTracker` deque of
+recent completion times — and is advanced *per ingest batch*, not per
+query: a batch touching a graph with a hundred standing subscriptions
+costs one pass over the released edges per subscription engine and zero
+mining runs.
+
+Event payloads are built by the module-level builders below, which the
+offline oracle (:mod:`repro.live.oracle`) shares — so "live firings
+byte-match offline replay" compares the *state machines and the
+delivery plumbing*, not two copies of a formatting function.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.graph.window import window_horizon
+from repro.live.outbox import Outbox
+from repro.motifs.motif import Motif
+from repro.streaming.counter import MotifStreamEngine
+
+#: Subscription kinds.
+UPDATE = "update"
+THRESHOLD = "threshold"
+KINDS = (UPDATE, THRESHOLD)
+
+
+def build_update_event(
+    sub_id: str,
+    graph: str,
+    motif_name: str,
+    delta: int,
+    version: int,
+    t_now: int,
+    count: int,
+    batch_completed: int,
+    window_count: int,
+    window_edges: int,
+) -> Dict:
+    """The canonical ``update`` event body (pre-seq)."""
+    return {
+        "type": UPDATE,
+        "subscription": sub_id,
+        "graph": graph,
+        "motif": motif_name,
+        "delta": int(delta),
+        "version": int(version),
+        "t_now": int(t_now),
+        "count": int(count),
+        "batch_completed": int(batch_completed),
+        "window_count": int(window_count),
+        "window_edges": int(window_edges),
+    }
+
+
+def build_alert_event(
+    sub_id: str,
+    graph: str,
+    motif_name: str,
+    delta: int,
+    version: int,
+    t_now: int,
+    count: int,
+    window_count: int,
+    threshold: int,
+) -> Dict:
+    """The canonical ``alert`` event body (pre-seq)."""
+    return {
+        "type": "alert",
+        "subscription": sub_id,
+        "graph": graph,
+        "motif": motif_name,
+        "delta": int(delta),
+        "version": int(version),
+        "t_now": int(t_now),
+        "count": int(count),
+        "window_count": int(window_count),
+        "threshold": int(threshold),
+    }
+
+
+class WindowTracker:
+    """Matches completed in the trailing δ-window, plus alert arming.
+
+    Shared verbatim by the live :class:`Subscription` and the offline
+    oracle so the two sides' *evaluation rule* is identical by
+    construction; what parity then proves is that the live engines saw
+    exactly the edges the offline replay did, in the same order, at the
+    same batch boundaries.
+    """
+
+    __slots__ = ("delta", "_recent", "window_count", "armed")
+
+    def __init__(self, delta: int) -> None:
+        self.delta = int(delta)
+        #: (completion_time, completions) per completing edge, oldest first.
+        self._recent: Deque[Tuple[int, int]] = deque()
+        self.window_count = 0
+        self.armed = True
+
+    def record(self, t_completed: int, completions: int) -> None:
+        if completions > 0:
+            self._recent.append((int(t_completed), int(completions)))
+            self.window_count += int(completions)
+
+    def expire(self, t_now: int) -> None:
+        horizon = window_horizon(t_now, self.delta)
+        recent = self._recent
+        while recent and recent[0][0] < horizon:
+            self.window_count -= recent.popleft()[1]
+
+    def crossed(self, threshold: int) -> bool:
+        """Edge-triggered threshold check; mutates the arming latch."""
+        if self.window_count > threshold:
+            fired = self.armed
+            self.armed = False
+            return fired
+        self.armed = True
+        return False
+
+
+class Subscription:
+    """One standing motif query and its delivery outbox."""
+
+    def __init__(
+        self,
+        sub_id: str,
+        graph_name: str,
+        motif: Motif,
+        delta: int,
+        kind: str = UPDATE,
+        threshold: Optional[int] = None,
+        outbox_capacity: int = 256,
+        on_drop: Optional[Callable[[int], None]] = None,
+        on_deliver: Optional[Callable[[int, float], None]] = None,
+        on_gap: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown subscription kind {kind!r}")
+        if kind == THRESHOLD:
+            if threshold is None or int(threshold) < 0:
+                raise ValueError(
+                    "threshold subscriptions need a non-negative threshold"
+                )
+            threshold = int(threshold)
+        elif threshold is not None:
+            raise ValueError("only threshold subscriptions take a threshold")
+        self.sub_id = sub_id
+        self.graph_name = graph_name
+        self.motif = motif
+        self.delta = int(delta)
+        self.kind = kind
+        self.threshold = threshold
+        self.engine = MotifStreamEngine(motif, self.delta)
+        self.tracker = WindowTracker(self.delta)
+        self.outbox = Outbox(
+            sub_id,
+            capacity=outbox_capacity,
+            on_drop=on_drop,
+            on_deliver=on_deliver,
+            on_gap=on_gap,
+        )
+        self.fires = 0
+
+    # -- evaluation (called under the owning LiveGraph's lock) -----------------
+
+    def advance(self, s: int, d: int, t_adj: int) -> int:
+        """Feed one released edge; returns completions it produced."""
+        completed = self.engine.advance(s, d, t_adj)
+        self.tracker.record(t_adj, completed)
+        return completed
+
+    def evaluate(
+        self,
+        version: int,
+        t_now: int,
+        batch_completed: int,
+        window_edges: int,
+    ) -> Optional[Dict]:
+        """End-of-batch evaluation; returns the emitted event (if any).
+
+        The emitted event is already appended to the outbox.
+        """
+        self.tracker.expire(t_now)
+        event: Optional[Dict] = None
+        if self.kind == UPDATE:
+            event = build_update_event(
+                self.sub_id,
+                self.graph_name,
+                self.motif.name,
+                self.delta,
+                version,
+                t_now,
+                self.engine.count,
+                batch_completed,
+                self.tracker.window_count,
+                window_edges,
+            )
+        elif self.tracker.crossed(self.threshold):
+            event = build_alert_event(
+                self.sub_id,
+                self.graph_name,
+                self.motif.name,
+                self.delta,
+                version,
+                t_now,
+                self.engine.count,
+                self.tracker.window_count,
+                self.threshold,
+            )
+        if event is not None:
+            self.fires += 1
+            self.outbox.append(event)
+        return event
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Cumulative matches completed since the subscription opened."""
+        return self.engine.count
+
+    def status(self) -> Dict:
+        st = {
+            "subscription": self.sub_id,
+            "graph": self.graph_name,
+            "motif": self.motif.name,
+            "delta": self.delta,
+            "kind": self.kind,
+            "count": self.engine.count,
+            "window_count": self.tracker.window_count,
+            "live_partials": self.engine.live_partials,
+            "fires": self.fires,
+            "outbox": self.outbox.stats(),
+        }
+        if self.kind == THRESHOLD:
+            st["threshold"] = self.threshold
+            st["armed"] = self.tracker.armed
+        return st
+
+    def close(self) -> None:
+        self.outbox.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Subscription({self.sub_id!r}, {self.motif.name!r}, "
+            f"delta={self.delta}, kind={self.kind!r}, count={self.count})"
+        )

@@ -27,6 +27,14 @@ Known sites:
 - ``executor.batch`` — :class:`~repro.service.executor.PoolExecutor`
   and :class:`~repro.cluster.executor.ClusterExecutor`, just before a
   batch is handed to the backend (context: ``graph`` = fingerprint).
+- ``live.ingest`` — :meth:`~repro.live.ingest.LiveGraph.append_batch`,
+  after validation but *before any mutation* (context: ``graph`` =
+  live-graph name, ``batch`` = sequence number).  A fault here plus a
+  retry applies the batch exactly once.
+- ``live.ingest.ack`` — same method, after the batch is committed and
+  remembered but before the ack returns.  A fault here plus a retry
+  exercises the idempotency ledger: the retry must answer
+  ``duplicate: true`` without re-applying (``repro chaos --live``).
 
 Counters are process-local: a plan pickled into a worker process counts
 that worker's own calls, so "kill worker 2 at its 3rd chunk" and "every

@@ -21,13 +21,40 @@ scheduler).  Routes:
   stream; ``POST /streams/<name>/edges`` ingests; ``GET
   /streams/<name>`` reads running totals; ``POST
   /streams/<name>/window-query`` mines the current window.
+
+Live graphs and standing subscriptions (:mod:`repro.live`):
+
+- ``POST /live`` — ``{"name", "delta", "lateness"?, "reorder_capacity"?}``
+  creates a mutable graph; ``DELETE /live/<name>`` drops it; ``GET
+  /live`` lists names, ``GET /live/<name>`` returns status (version,
+  window fingerprint, reorder-buffer stats).
+- ``POST /graphs/<name>/edges`` — the append path: ``{"edges": [[src,
+  dst, t], ...], "seq"?: int, "flush"?: bool}``.  ``seq`` makes the
+  batch idempotent (a retry returns the original ack with
+  ``duplicate: true``); the ack carries the new graph version.
+- ``POST /subscriptions`` — ``{"graph", "motif" | "motif_spec",
+  "delta"?, "kind"?: "update"|"threshold", "threshold"?,
+  "outbox_capacity"?}`` registers a standing query; ``DELETE
+  /subscriptions/<id>`` cancels it; ``GET /subscriptions/<id>`` reads
+  its status.
+- ``GET /subscriptions/<id>/events`` — SSE push: one ``id:``/
+  ``event:``/``data:`` frame per event, heartbeat comments while idle.
+  Resume with ``?after=N`` or the standard ``Last-Event-ID`` header;
+  ``?max_events=K`` closes the stream after K events (testing/scripts).
+- ``GET /subscriptions/<id>/poll?after=N&timeout_s=S&max_events=K`` —
+  long-poll fallback: blocks until events past ``N`` exist (or timeout),
+  returns ``{"events": [...], "next_after": M}``.  Delivery everywhere
+  is at-least-once: reads never consume, clients advance their own
+  cursor, and a cursor that fell off the bounded outbox gets an explicit
+  ``gap`` event first.
 """
 
 from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.motifs.motif import Motif
 from repro.service.query import QueryRejected, QueryResult, UnknownGraph
@@ -145,12 +172,32 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif path.startswith("/streams/"):
                 name = path[len("/streams/"):]
                 self._send_json(200, self.service.stream_counts(name))
+            elif path == "/live":
+                self._send_json(200, {"live": self.service.live_graphs()})
+            elif path.startswith("/live/"):
+                name = path[len("/live/"):]
+                self._send_json(200, self.service.live_status(name))
+            elif path == "/subscriptions":
+                self._send_json(
+                    200, {"subscriptions": self.service.live.subscriptions()}
+                )
+            elif path.startswith("/subscriptions/") and path.endswith("/events"):
+                sub_id = path[len("/subscriptions/"):-len("/events")]
+                self._handle_sse(sub_id, query_string)
+            elif path.startswith("/subscriptions/") and path.endswith("/poll"):
+                sub_id = path[len("/subscriptions/"):-len("/poll")]
+                self._handle_poll(sub_id, query_string)
+            elif path.startswith("/subscriptions/"):
+                sub_id = path[len("/subscriptions/"):]
+                self._send_json(200, self.service.subscription(sub_id).status())
             else:
                 raise _HTTPError(404, f"no such route {path!r}")
         except _HTTPError as exc:
             self._send_json(exc.status, {"error": exc.message})
         except UnknownGraph as exc:
             self._send_json(404, {"error": str(exc.args[0])})
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
 
     def do_POST(self) -> None:  # noqa: N802
         try:
@@ -158,6 +205,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_query()
             elif self.path == "/graphs":
                 self._handle_register_graph()
+            elif self.path == "/live":
+                self._handle_create_live()
+            elif self.path == "/subscriptions":
+                self._handle_subscribe()
+            elif self.path.startswith("/graphs/") and self.path.endswith("/edges"):
+                name = self.path[len("/graphs/"):-len("/edges")]
+                self._handle_append_live(name)
             elif self.path == "/streams":
                 self._handle_open_stream()
             elif self.path.startswith("/streams/") and self.path.endswith("/edges"):
@@ -269,6 +323,147 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         motif = self._resolve_motif(body)
         self.service.open_stream(name, motif, delta)
         self._send_json(200, {"stream": name, "motif": motif.name, "delta": delta})
+
+    # -- live graphs + subscriptions (repro.live) ------------------------------
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            if self.path.startswith("/subscriptions/"):
+                sub_id = self.path[len("/subscriptions/"):]
+                self.service.unsubscribe(sub_id)
+                self._send_json(200, {"cancelled": sub_id})
+            elif self.path.startswith("/live/"):
+                name = self.path[len("/live/"):]
+                self.service.drop_live_graph(name)
+                self._send_json(200, {"dropped": name})
+            else:
+                raise _HTTPError(404, f"no such route {self.path!r}")
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except UnknownGraph as exc:
+            self._send_json(404, {"error": str(exc.args[0])})
+
+    def _handle_create_live(self) -> None:
+        body = self._read_body()
+        name = str(self._require(body, "name"))
+        delta = int(self._require(body, "delta"))
+        lateness = body.get("lateness", 0)
+        out = self.service.create_live_graph(
+            name,
+            delta,
+            lateness=None if lateness is None else int(lateness),
+            reorder_capacity=int(body.get("reorder_capacity", 1024)),
+        )
+        self._send_json(200, out)
+
+    def _handle_append_live(self, name: str) -> None:
+        body = self._read_body()
+        edges = self._require(body, "edges")
+        if not isinstance(edges, list):
+            raise _HTTPError(400, "'edges' must be a list of [src, dst, t]")
+        seq = body.get("seq")
+        ack = self.service.append_live(
+            name,
+            [tuple(e) for e in edges],
+            seq=None if seq is None else int(seq),
+            flush=bool(body.get("flush", False)),
+        )
+        self._send_json(200, ack)
+
+    def _handle_subscribe(self) -> None:
+        body = self._read_body()
+        graph = str(self._require(body, "graph"))
+        motif = self._resolve_motif(body)
+        delta = body.get("delta")
+        threshold = body.get("threshold")
+        kind = str(body.get("kind", "threshold" if threshold is not None else "update"))
+        sub = self.service.subscribe(
+            graph,
+            motif,
+            delta=None if delta is None else int(delta),
+            kind=kind,
+            threshold=None if threshold is None else int(threshold),
+            outbox_capacity=int(body.get("outbox_capacity", 256)),
+        )
+        self._send_json(200, sub.status())
+
+    @staticmethod
+    def _qs_int(params: Dict[str, List[str]], name: str, default=None):
+        if name not in params:
+            return default
+        return int(params[name][0])
+
+    def _handle_poll(self, sub_id: str, query_string: str) -> None:
+        """Long-poll fallback: block until events past ``after`` exist."""
+        params = parse_qs(query_string)
+        sub = self.service.subscription(sub_id)
+        after = self._qs_int(params, "after", 0)
+        max_events = self._qs_int(params, "max_events")
+        timeout_s = float(params.get("timeout_s", ["10"])[0])
+        events = sub.outbox.wait_events(
+            after, timeout_s=max(0.0, min(timeout_s, 60.0)),
+            max_events=max_events,
+        )
+        next_after = max([after] + [e["seq"] for e in events])
+        self._send_json(
+            200,
+            {
+                "subscription": sub_id,
+                "events": events,
+                "next_after": next_after,
+                "closed": sub.outbox.closed,
+            },
+        )
+
+    def _handle_sse(self, sub_id: str, query_string: str) -> None:
+        """Server-sent events: push each outbox event as one SSE frame.
+
+        The stream is chunked-free HTTP/1.1 (no Content-Length,
+        ``Connection: close``); while idle it emits comment heartbeats
+        so proxies and clients can tell the connection is alive.  A
+        reconnecting client resumes via ``Last-Event-ID`` (or
+        ``?after=``) and the at-least-once outbox redelivers from there.
+        """
+        params = parse_qs(query_string)
+        sub = self.service.subscription(sub_id)
+        after = self._qs_int(params, "after", 0)
+        last_id = self.headers.get("Last-Event-ID")
+        if last_id is not None:
+            after = int(last_id)
+        max_events = self._qs_int(params, "max_events")
+        heartbeat_s = float(params.get("heartbeat_s", ["5"])[0])
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        try:
+            while True:
+                remaining = None if max_events is None else max_events - sent
+                if remaining is not None and remaining <= 0:
+                    return
+                events = sub.outbox.wait_events(
+                    after, timeout_s=heartbeat_s, max_events=remaining
+                )
+                if not events:
+                    if sub.outbox.closed:
+                        return
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+                    continue
+                for event in events:
+                    frame = (
+                        f"id: {event['seq']}\n"
+                        f"event: {event['type']}\n"
+                        f"data: {json.dumps(event, sort_keys=True)}\n\n"
+                    )
+                    self.wfile.write(frame.encode())
+                    after = max(after, int(event["seq"]))
+                    sent += 1
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; the outbox keeps their cursor safe
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

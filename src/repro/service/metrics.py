@@ -66,6 +66,15 @@ class ResilienceCounters:
         "approx_served",
         "refined_entries",
         "degraded_estimates",
+        # -- live ingestion / subscriptions (repro.live) ------------------------
+        "edges_ingested",
+        "ingest_batches",
+        "duplicate_batches",
+        "late_edges_dropped",
+        "subscription_fires",
+        "events_delivered",
+        "events_dropped",
+        "gap_events",
     )
 
     def __init__(self) -> None:
@@ -172,6 +181,30 @@ class ServiceMetrics:
     approx_eps_samples: int = 0
     #: Gauge: cache entries currently carrying an approx accuracy tag.
     approx_cache_entries: int = 0
+    # -- live ingestion / subscriptions (repro.live) ----------------------------
+    #: Edges applied to live graphs (post reorder-buffer release).
+    edges_ingested: int = 0
+    ingest_batches: int = 0
+    #: Retried batches answered from the idempotency ledger.
+    duplicate_batches: int = 0
+    #: Edges arriving below the reorder watermark, dropped + counted.
+    late_edges_dropped: int = 0
+    #: Subscription evaluations that emitted an event (update or alert).
+    subscription_fires: int = 0
+    #: Events handed to consumers across all outboxes (at-least-once, so
+    #: redeliveries count again).
+    events_delivered: int = 0
+    #: Events dropped from full outboxes (slow consumers).
+    events_dropped: int = 0
+    #: Synthetic gap events surfaced to lagging consumers.
+    gap_events: int = 0
+    #: Gauges: live graphs and standing subscriptions right now.
+    live_graphs: int = 0
+    live_subscriptions: int = 0
+    #: Enqueue-to-delivery lag over recently delivered events.
+    delivery_lag_p50_s: float = 0.0
+    delivery_lag_p99_s: float = 0.0
+    delivery_lag_samples: int = 0
 
     @property
     def coalesce_ratio(self) -> float:
@@ -232,5 +265,18 @@ class ServiceMetrics:
             ["approx eps p50", f"{self.approx_eps_p50:.4f}"],
             ["approx eps p99", f"{self.approx_eps_p99:.4f}"],
             ["approx cache entries", self.approx_cache_entries],
+            ["edges ingested", self.edges_ingested],
+            ["ingest batches", self.ingest_batches],
+            ["duplicate batches", self.duplicate_batches],
+            ["late edges dropped", self.late_edges_dropped],
+            ["subscription fires", self.subscription_fires],
+            ["events delivered", self.events_delivered],
+            ["events dropped", self.events_dropped],
+            ["gap events", self.gap_events],
+            ["live graphs (now)", self.live_graphs],
+            ["live subscriptions (now)", self.live_subscriptions],
+            ["delivery lag p50 (ms)", f"{self.delivery_lag_p50_s * 1e3:.2f}"],
+            ["delivery lag p99 (ms)", f"{self.delivery_lag_p99_s * 1e3:.2f}"],
+            ["delivery lag samples", self.delivery_lag_samples],
         ]
         return format_table(["metric", "value"], rows)

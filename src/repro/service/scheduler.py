@@ -710,6 +710,14 @@ class QueryScheduler:
             approx_eps_p99=eps_quantiles["p99_s"],
             approx_eps_samples=self.approx_eps.recorded_total,
             approx_cache_entries=int(cache_stats.get("approx_entries", 0)),
+            edges_ingested=res["edges_ingested"],
+            ingest_batches=res["ingest_batches"],
+            duplicate_batches=res["duplicate_batches"],
+            late_edges_dropped=res["late_edges_dropped"],
+            subscription_fires=res["subscription_fires"],
+            events_delivered=res["events_delivered"],
+            events_dropped=res["events_dropped"],
+            gap_events=res["gap_events"],
         )
 
     # -- lifecycle -------------------------------------------------------------

@@ -27,11 +27,17 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from dataclasses import replace as _dc_replace
+from typing import TYPE_CHECKING
+
 from repro.approx.estimate import APPROX, EXACT, ApproxSpec
 from repro.approx.refiner import CacheRefiner
 from repro.graph.temporal_graph import TemporalGraph
 from repro.motifs.catalog import motif_by_name
 from repro.motifs.motif import Motif
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.live uses the
+    from repro.live.subscriptions import Subscription  # service internals)
 from repro.service.cache import ResultCache
 from repro.service.executor import InlineExecutor, PoolExecutor
 from repro.service.metrics import ResilienceCounters, ServiceMetrics
@@ -100,6 +106,17 @@ class MotifService:
             counters=self.resilience,
         )
         self.registry.add_evict_listener(self._on_graph_evicted)
+        #: Live mutable graphs + standing subscriptions (repro.live);
+        #: shares the registry/cache/counters so versioned snapshots
+        #: serve (and meter) through the ordinary query path.  Imported
+        #: here, not at module top: repro.live depends on the service
+        #: internals (cache/registry/metrics), so this is the lazy edge
+        #: that keeps the package graph acyclic.
+        from repro.live.manager import LiveManager
+
+        self.live = LiveManager(
+            self.registry, self.cache, counters=self.resilience
+        )
         self._streams: Dict[str, _LiveStream] = {}
         self._streams_lock = threading.Lock()
         self._closed = False
@@ -141,6 +158,11 @@ class MotifService:
                 self.registry.register(graph)
                 self.registry.release(fp)
             return fp
+        if self.live.is_live(graph):
+            # A live name resolves to its *current version's* snapshot,
+            # pinned under the ingestion lock — the whole query runs
+            # against one coherent version however fast edges land.
+            return self.live.snapshot_for_query(graph)
         return self.registry.resolve(graph)
 
     @staticmethod
@@ -192,7 +214,85 @@ class MotifService:
             graph, motif, delta, timeout_s, mode=mode, approx=approx
         ).result()
 
-    # -- live streams ----------------------------------------------------------
+    # -- live graphs (repro.live: ingestion + subscriptions) -------------------
+
+    def create_live_graph(
+        self,
+        name: str,
+        delta: int,
+        lateness: Optional[int] = 0,
+        reorder_capacity: int = 1024,
+    ) -> Dict:
+        """Create a named mutable graph accepting edge batches."""
+        if name in self.registry.names() or self.live.is_live(name):
+            raise ValueError(f"graph name {name!r} already in use")
+        live = self.live.create_graph(
+            name, delta, lateness=lateness, reorder_capacity=reorder_capacity
+        )
+        return {"graph": name, "delta": live.delta, "version": live.version}
+
+    def append_live(
+        self,
+        name: str,
+        edges: Iterable[Tuple[int, int, int]],
+        seq: Optional[int] = None,
+        flush: bool = False,
+    ) -> Dict:
+        """Ingest one edge batch into a live graph; returns the ack."""
+        return self.live.append(name, edges, seq=seq, flush=flush)
+
+    def live_status(self, name: str) -> Dict:
+        return self.live.status(name)
+
+    def live_graphs(self) -> List[str]:
+        return self.live.names()
+
+    def drop_live_graph(self, name: str) -> None:
+        self.live.drop_graph(name)
+
+    def subscribe(
+        self,
+        graph: str,
+        motif: MotifRef,
+        delta: Optional[int] = None,
+        kind: str = "update",
+        threshold: Optional[int] = None,
+        outbox_capacity: int = 256,
+    ) -> "Subscription":
+        """Attach a standing motif query to a live graph."""
+        return self.live.subscribe(
+            graph,
+            self._resolve_motif(motif),
+            delta=delta,
+            kind=kind,
+            threshold=threshold,
+            outbox_capacity=outbox_capacity,
+        )
+
+    def unsubscribe(self, sub_id: str) -> None:
+        self.live.unsubscribe(sub_id)
+
+    def subscription(self, sub_id: str) -> "Subscription":
+        return self.live.subscription(sub_id)
+
+    def live_query(
+        self,
+        name: str,
+        motif: MotifRef,
+        delta: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        mode: str = EXACT,
+        approx: Optional[ApproxSpec] = None,
+    ) -> QueryResult:
+        """Query a live graph's current version (exact or approx)."""
+        if delta is None:
+            delta = self.live.get(name).delta
+        return self.query(
+            name, motif, int(delta), timeout_s=timeout_s, mode=mode,
+            approx=approx,
+        )
+
+    # -- live streams (legacy single-motif counters) ---------------------------
 
     def open_stream(self, name: str, motif: MotifRef, delta: int) -> str:
         """Create a named online counter; returns the name."""
@@ -273,7 +373,16 @@ class MotifService:
     # -- observability / lifecycle ---------------------------------------------
 
     def metrics(self) -> ServiceMetrics:
-        return self.scheduler.metrics()
+        snap = self.scheduler.metrics()
+        gauges = self.live.gauges()
+        return _dc_replace(
+            snap,
+            live_graphs=int(gauges["live_graphs"]),
+            live_subscriptions=int(gauges["live_subscriptions"]),
+            delivery_lag_p50_s=gauges["delivery_lag_p50_s"],
+            delivery_lag_p99_s=gauges["delivery_lag_p99_s"],
+            delivery_lag_samples=int(gauges["delivery_lag_samples"]),
+        )
 
     def render_metrics(self) -> str:
         return self.metrics().render()
@@ -311,6 +420,7 @@ class MotifService:
         self._closed = True
         if self.refiner is not None:
             self.refiner.close()
+        self.live.close()
         self.scheduler.close()
         self.executor.close()
 

@@ -1,0 +1,163 @@
+"""Chaos drill for live ingestion: seeded mid-batch kills, idempotent
+resume, and subscription re-fire parity — plus the CLI entry points."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import make_dataset
+from repro.live.driver import (
+    build_live_chaos_plan,
+    run_live_chaos,
+    run_live_feed,
+)
+from repro.live.ingest import LiveGraph
+from repro.resilience.faults import FaultPlan, InjectedFault
+
+
+@pytest.fixture(scope="module")
+def feed_graph():
+    return make_dataset("wiki-talk", scale=0.012, seed=5)
+
+
+def feed_delta(g):
+    return max(1, g.time_span // 40)
+
+
+class TestIngestFaultSites:
+    def test_begin_fault_leaves_no_trace(self):
+        live = LiveGraph("g", delta=10)
+        plan = FaultPlan.raise_at("live.ingest", [1])
+        with plan.installed():
+            with pytest.raises(InjectedFault):
+                live.append_batch([(0, 1, 5)], seq=0)
+            assert live.buffer.num_edges == 0 and live.version == 0
+            # Retry succeeds and applies exactly once.
+            ack = live.append_batch([(0, 1, 5)], seq=0)
+        assert not ack["duplicate"] and live.buffer.num_edges == 1
+
+    def test_ack_fault_commits_then_retry_dedupes(self):
+        live = LiveGraph("g", delta=10)
+        plan = FaultPlan.raise_at("live.ingest.ack", [1])
+        with plan.installed():
+            with pytest.raises(InjectedFault):
+                live.append_batch([(0, 1, 5)], seq=0)
+            # The batch committed before the crash point.
+            assert live.buffer.num_edges == 1 and live.version == 1
+            ack = live.append_batch([(0, 1, 5)], seq=0)
+        assert ack["duplicate"] and ack["version"] == 1
+        assert live.buffer.num_edges == 1
+
+    def test_fault_context_carries_graph_and_seq(self):
+        seen = []
+        live = LiveGraph("g", delta=10)
+        plan = FaultPlan([])
+        orig = plan.on
+        plan.on = lambda site, **ctx: (seen.append((site, ctx)),
+                                       orig(site, **ctx))[-1]
+        with plan.installed():
+            live.append_batch([(0, 1, 5)], seq=7)
+        sites = dict(seen)
+        assert sites["live.ingest"] == {"graph": "g", "batch": 7}
+        assert sites["live.ingest.ack"] == {"graph": "g", "batch": 7}
+
+
+class TestChaosPlan:
+    def test_plan_is_deterministic_and_mixed(self):
+        plan_a, fail_a = build_live_chaos_plan(12, kills=4, seed=9)
+        plan_b, fail_b = build_live_chaos_plan(12, kills=4, seed=9)
+        assert [(s.site, s.at_call) for s in plan_a.specs] == \
+            [(s.site, s.at_call) for s in plan_b.specs]
+        assert fail_a == fail_b and len(fail_a) == 4
+        _, fail_c = build_live_chaos_plan(12, 4, seed=10)
+        assert fail_c != fail_a
+
+    def test_seeds_eventually_use_both_sites(self):
+        sites = set()
+        for seed in range(8):
+            plan, _ = build_live_chaos_plan(12, kills=4, seed=seed)
+            sites |= {s.site for s in plan.specs}
+        assert sites == {"live.ingest", "live.ingest.ack"}
+
+    def test_zero_kills_is_empty_plan(self):
+        plan, failures = build_live_chaos_plan(10, kills=0, seed=1)
+        assert plan.specs == [] and failures == {}
+
+    def test_too_many_kills_rejected(self):
+        with pytest.raises(ValueError):
+            build_live_chaos_plan(4, kills=5, seed=1)
+
+
+class TestChaosDrill:
+    def test_drill_passes_all_invariants(self, feed_graph):
+        report = run_live_chaos(
+            feed_graph, delta=feed_delta(feed_graph), batch_size=25,
+            kills=3, seed=7, num_subs=6,
+        )
+        assert report["ok"], report
+        assert report["injected_faults"] == 3
+        checks = report["checks"]
+        assert checks["faults_fired"]
+        assert checks["no_edge_lost_or_duplicated"]
+        assert checks["post_commit_retries_deduped"]
+        assert checks["event_parity"]
+        assert checks["window_fingerprint_ok"]
+
+    def test_drill_seeds_change_crash_schedule(self, feed_graph):
+        delta = feed_delta(feed_graph)
+        r1 = run_live_chaos(feed_graph, delta=delta, kills=2, seed=1,
+                            num_subs=3)
+        r2 = run_live_chaos(feed_graph, delta=delta, kills=2, seed=2,
+                            num_subs=3)
+        assert r1["ok"] and r2["ok"]
+        assert r1["failures"] != r2["failures"]
+
+    def test_drill_without_kills_sees_no_duplicates(self, feed_graph):
+        report = run_live_chaos(
+            feed_graph, delta=feed_delta(feed_graph), kills=0, seed=0,
+            num_subs=3,
+        )
+        assert report["ok"] and report["duplicate_acks"] == 0
+
+
+class TestLiveFeedDriver:
+    def test_feed_parity_over_http(self, feed_graph):
+        report = run_live_feed(
+            feed_graph, delta=feed_delta(feed_graph), num_subs=8,
+            batch_size=20, shuffle="block", seed=3,
+        )
+        assert report["parity"], report["mismatched_subs"]
+        assert report["events_total"] > 0
+        assert report["edges_per_s"] > 0
+        metrics = report["metrics"]
+        assert metrics["edges_ingested"] == feed_graph.num_edges
+
+
+class TestCLI:
+    ARGS = ["--scale", "0.012", "--seed", "5"]
+
+    def test_repro_live_smoke(self, capsys):
+        rc = main(["live", "wiki-talk", *self.ARGS, "--subs", "6",
+                   "--batch-size", "30", "--shuffle", "block"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "parity vs offline replay" in out and "OK" in out
+
+    def test_repro_live_no_verify(self, capsys):
+        rc = main(["live", "wiki-talk", *self.ARGS, "--subs", "4",
+                   "--batch-size", "40", "--no-verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipped" in out
+
+    def test_repro_chaos_live_smoke(self, capsys, feed_graph):
+        delta = str(feed_delta(feed_graph))
+        rc = main(["chaos", "wiki-talk", "--live", *self.ARGS,
+                   "--delta", delta, "--kills", "2", "--batch-size", "25"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "all checks passed" in out or "OK" in out
+
+    def test_repro_chaos_live_and_cluster_exclusive(self, capsys):
+        rc = main(["chaos", "wiki-talk", "--live", "--cluster",
+                   "--delta", "100", *self.ARGS])
+        assert rc != 0

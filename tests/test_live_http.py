@@ -1,0 +1,347 @@
+"""HTTP surface of repro.live: ingest routes, long-poll, SSE push, and
+the bounded-outbox slow-consumer guarantees."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.service import MotifService, make_server
+
+DELTA = 1_000_000
+
+
+@pytest.fixture
+def live_server():
+    service = MotifService(max_queue=8)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    conn = HTTPConnection(host, port, timeout=30)
+    try:
+        yield conn, service, (host, port)
+    finally:
+        conn.close()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.close()
+
+
+def request(conn, method, path, body=None, headers=None):
+    payload = None if body is None else json.dumps(body)
+    hdrs = dict(headers or {})
+    if payload:
+        hdrs.setdefault("Content-Type", "application/json")
+    conn.request(method, path, body=payload, headers=hdrs)
+    resp = conn.getresponse()
+    raw = resp.read()
+    return resp, json.loads(raw) if raw else {}
+
+
+def create_feed(conn, name="feed", delta=DELTA, **extra):
+    body = {"name": name, "delta": delta}
+    body.update(extra)
+    resp, out = request(conn, "POST", "/live", body)
+    assert resp.status == 200, out
+    return out
+
+
+def parse_sse(raw):
+    """Split an SSE byte stream into frames ({'id','event','data'}) and
+    comment lines (heartbeats)."""
+    frames, comments = [], []
+    for chunk in raw.decode("utf-8").split("\n\n"):
+        if not chunk.strip():
+            continue
+        frame = {}
+        for line in chunk.splitlines():
+            if line.startswith(":"):
+                comments.append(line)
+                continue
+            key, _, value = line.partition(":")
+            frame[key] = value.strip()
+        if frame:
+            frames.append(frame)
+    return frames, comments
+
+
+class TestLiveRoutes:
+    def test_create_list_status_drop(self, live_server):
+        conn, _, _ = live_server
+        out = create_feed(conn, lateness=5, reorder_capacity=64)
+        assert out["graph"] == "feed" and out["version"] == 0
+        resp, listing = request(conn, "GET", "/live")
+        assert resp.status == 200 and listing["live"] == ["feed"]
+        resp, status = request(conn, "GET", "/live/feed")
+        assert resp.status == 200
+        assert status["reorder"]["capacity"] == 64
+        resp, _ = request(conn, "DELETE", "/live/feed")
+        assert resp.status == 200
+        resp, _ = request(conn, "GET", "/live/feed")
+        assert resp.status == 404
+
+    def test_create_rejects_collisions_and_bad_input(self, live_server):
+        conn, service, _ = live_server
+        g = make_dataset("email-eu", scale=0.02, seed=0)
+        service.register_graph(g, name="static")
+        resp, _ = request(conn, "POST", "/live",
+                          {"name": "static", "delta": DELTA})
+        assert resp.status == 400
+        create_feed(conn)
+        resp, _ = request(conn, "POST", "/live",
+                          {"name": "feed", "delta": DELTA})
+        assert resp.status == 400
+        resp, _ = request(conn, "POST", "/live", {"name": "x"})
+        assert resp.status == 400  # missing delta
+
+    def test_append_acks_and_idempotency(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        batch = {"edges": [[0, 1, 10], [1, 2, 20]], "seq": 1}
+        resp, ack = request(conn, "POST", "/graphs/feed/edges", batch)
+        assert resp.status == 200
+        assert ack["released"] == 2 and ack["version"] == 1
+        assert not ack["duplicate"]
+        resp, dup = request(conn, "POST", "/graphs/feed/edges", batch)
+        assert resp.status == 200
+        assert dup["duplicate"] and dup["version"] == 1
+        resp, status = request(conn, "GET", "/live/feed")
+        assert status["num_edges"] == 2  # applied exactly once
+
+    def test_append_error_mapping(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        resp, _ = request(conn, "POST", "/graphs/nope/edges",
+                          {"edges": [[0, 1, 1]]})
+        assert resp.status == 404
+        resp, _ = request(conn, "POST", "/graphs/feed/edges",
+                          {"edges": [[0, -1, 1]]})
+        assert resp.status == 400
+        resp, _ = request(conn, "POST", "/graphs/feed/edges",
+                          {"edges": "nope"})
+        assert resp.status == 400
+
+    def test_live_graph_answers_queries(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        # M1 = triangle a->b, b->c, c->a within delta.
+        edges = [[0, 1, 10], [1, 2, 20], [2, 0, 30]]
+        request(conn, "POST", "/graphs/feed/edges",
+                {"edges": edges, "seq": 0})
+        resp, body = request(conn, "POST", "/query",
+                             {"graph": "feed", "motif": "M1", "delta": DELTA})
+        assert resp.status == 200
+        assert body["count"] == 1
+
+
+class TestSubscriptionRoutes:
+    def subscribe(self, conn, **body):
+        body.setdefault("graph", "feed")
+        body.setdefault("motif", "M1")
+        resp, out = request(conn, "POST", "/subscriptions", body)
+        assert resp.status == 200, out
+        return out
+
+    def test_subscribe_kind_defaulting(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        plain = self.subscribe(conn)
+        assert plain["kind"] == "update" and plain["delta"] == DELTA
+        alert = self.subscribe(conn, threshold=3)
+        assert alert["kind"] == "threshold" and alert["threshold"] == 3
+        resp, listing = request(conn, "GET", "/subscriptions")
+        ids = set(listing["subscriptions"])
+        assert {plain["subscription"], alert["subscription"]} <= ids
+
+    def test_subscribe_error_mapping(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        resp, _ = request(conn, "POST", "/subscriptions",
+                          {"graph": "nope", "motif": "M1"})
+        assert resp.status == 404
+        resp, _ = request(conn, "POST", "/subscriptions",
+                          {"graph": "feed", "motif": "no-such-motif"})
+        assert resp.status == 404  # same mapping as /query's motif lookup
+        resp, _ = request(conn, "POST", "/subscriptions",
+                          {"graph": "feed", "motif": "M1",
+                           "kind": "threshold"})
+        assert resp.status == 400  # threshold kind without threshold
+        resp, _ = request(conn, "GET", "/subscriptions/sub-999")
+        assert resp.status == 404
+
+    def test_unsubscribe(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        sub = self.subscribe(conn)
+        sid = sub["subscription"]
+        resp, _ = request(conn, "DELETE", f"/subscriptions/{sid}")
+        assert resp.status == 200
+        resp, _ = request(conn, "GET", f"/subscriptions/{sid}")
+        assert resp.status == 404
+
+    def test_long_poll_returns_queued_events(self, live_server):
+        conn, _, _ = live_server
+        create_feed(conn)
+        sid = self.subscribe(conn)["subscription"]
+        request(conn, "POST", "/graphs/feed/edges",
+                {"edges": [[0, 1, 10]], "seq": 0})
+        resp, out = request(
+            conn, "GET", f"/subscriptions/{sid}/poll?after=0&timeout_s=5")
+        assert resp.status == 200
+        assert out["subscription"] == sid
+        assert [e["seq"] for e in out["events"]] == [1]
+        assert out["next_after"] == 1 and not out["closed"]
+        # Cursor past the end + tiny timeout: clean empty page.
+        resp, out = request(
+            conn, "GET", f"/subscriptions/{sid}/poll?after=1&timeout_s=0")
+        assert out["events"] == [] and out["next_after"] == 1
+
+    def test_long_poll_wakes_on_ingest(self, live_server):
+        conn, _, addr = live_server
+        create_feed(conn)
+        sid = self.subscribe(conn)["subscription"]
+
+        def feed_later():
+            time.sleep(0.2)
+            side = HTTPConnection(*addr, timeout=10)
+            try:
+                request(side, "POST", "/graphs/feed/edges",
+                        {"edges": [[0, 1, 10]], "seq": 0})
+            finally:
+                side.close()
+
+        t = threading.Thread(target=feed_later)
+        t.start()
+        t0 = time.monotonic()
+        resp, out = request(
+            conn, "GET", f"/subscriptions/{sid}/poll?after=0&timeout_s=10")
+        waited = time.monotonic() - t0
+        t.join()
+        assert len(out["events"]) == 1
+        assert waited < 8  # woke on the append, not the timeout
+
+    def test_sse_stream_and_resume(self, live_server):
+        conn, _, addr = live_server
+        create_feed(conn)
+        sid = self.subscribe(conn)["subscription"]
+        for i in range(3):
+            request(conn, "POST", "/graphs/feed/edges",
+                    {"edges": [[0, 1, 10 * (i + 1)]], "seq": i})
+
+        sse = HTTPConnection(*addr, timeout=30)
+        try:
+            sse.request("GET", f"/subscriptions/{sid}/events?max_events=3")
+            resp = sse.getresponse()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type").startswith(
+                "text/event-stream")
+            frames, _ = parse_sse(resp.read())
+        finally:
+            sse.close()
+        assert [f["id"] for f in frames] == ["1", "2", "3"]
+        assert all(f["event"] == "update" for f in frames)
+        payloads = [json.loads(f["data"]) for f in frames]
+        assert [p["version"] for p in payloads] == [1, 2, 3]
+
+        # Resume via Last-Event-ID skips already-seen events.
+        sse = HTTPConnection(*addr, timeout=30)
+        try:
+            sse.request("GET", f"/subscriptions/{sid}/events?max_events=1",
+                        headers={"Last-Event-ID": "2"})
+            frames, _ = parse_sse(sse.getresponse().read())
+        finally:
+            sse.close()
+        assert [f["id"] for f in frames] == ["3"]
+
+    def test_sse_heartbeats_while_idle(self, live_server):
+        conn, _, addr = live_server
+        create_feed(conn)
+        sid = self.subscribe(conn)["subscription"]
+        request(conn, "POST", "/graphs/feed/edges",
+                {"edges": [[0, 1, 10]], "seq": 0})
+        sse = HTTPConnection(*addr, timeout=30)
+        try:
+            # One event is pending; the second never comes, so the
+            # stream idles and must emit heartbeat comments meanwhile.
+            sse.request(
+                "GET",
+                f"/subscriptions/{sid}/events?max_events=2&heartbeat_s=0.1",
+            )
+            resp = sse.getresponse()
+            raw = b""
+            deadline = time.monotonic() + 5
+            while b": heartbeat" not in raw and time.monotonic() < deadline:
+                raw += resp.read1(4096)
+        finally:
+            sse.close()
+        frames, comments = parse_sse(raw)
+        assert frames and frames[0]["id"] == "1"
+        assert any("heartbeat" in c for c in comments)
+
+
+class TestSlowConsumer:
+    """Satellite: a wedged subscriber must not block ingest or peers."""
+
+    NUM_SUBS = 64
+    CAPACITY = 8
+    BATCHES = 40
+
+    def test_wedged_subscriber_is_isolated(self):
+        with MotifService(max_queue=8) as svc:
+            svc.create_live_graph("feed", DELTA)
+            subs = [
+                svc.subscribe("feed", "M1", outbox_capacity=self.CAPACITY)
+                for _ in range(self.NUM_SUBS)
+            ]
+            wedged, keeper, peers = subs[0], subs[1], subs[2:]
+
+            kept = []
+            t0 = time.monotonic()
+            for i in range(self.BATCHES):
+                svc.append_live("feed", [(0, 1, 10 * (i + 1))], seq=i)
+                # The diligent consumer drains after every batch.
+                kept.extend(
+                    keeper.outbox.read_after(
+                        kept[-1]["seq"] if kept else 0)
+                )
+            elapsed = time.monotonic() - t0
+
+            # Ingest ran at full speed: nothing waited on the wedged
+            # subscriber (64 subs x 40 batches in well under a minute).
+            assert elapsed < 30
+            status = svc.live_status("feed")
+            assert status["version"] == self.BATCHES
+
+            # The diligent consumer saw every event, gapless.
+            assert [e["seq"] for e in kept] == \
+                list(range(1, self.BATCHES + 1))
+            assert not any(e["type"] == "gap" for e in kept)
+
+            # The wedged outbox stayed bounded and its eventual read
+            # starts with an honest gap notification.
+            stats = wedged.outbox.stats()
+            assert stats["retained"] <= self.CAPACITY
+            assert stats["dropped"] == self.BATCHES - self.CAPACITY
+            events = wedged.outbox.read_after(0)
+            assert events[0]["type"] == "gap"
+            assert events[0]["dropped"] == self.BATCHES - self.CAPACITY
+            assert [e["seq"] for e in events[1:]] == list(
+                range(self.BATCHES - self.CAPACITY + 1, self.BATCHES + 1))
+
+            # Peers all received the full tail independently.
+            for sub in peers:
+                tail = sub.outbox.read_after(0)
+                assert tail[-1]["seq"] == self.BATCHES
+
+            # Drop/gap accounting reaches the service metrics.
+            m = svc.metrics()
+            assert m.events_dropped >= self.BATCHES - self.CAPACITY
+            assert m.gap_events >= 1
+            assert m.live_subscriptions == self.NUM_SUBS

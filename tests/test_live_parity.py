@@ -1,0 +1,127 @@
+"""Differential parity: live incremental ingestion vs offline replay.
+
+For every dataset generator x batch size (1, 7, all-at-once) the full
+event stream of a panel of standing subscriptions — update payloads and
+threshold alerts — must be byte-identical to ``repro.live.oracle``'s
+offline replay, which recounts from scratch with the independent
+``repro.streaming`` machinery.  Shuffled arrival orders route through
+the reorder buffer and must converge to the same bytes.
+"""
+
+import pytest
+
+from repro.graph.generators import DATASET_NAMES, make_dataset
+from repro.live.driver import _shuffled
+from repro.live.ingest import LiveGraph
+from repro.live.oracle import (
+    SubSpec,
+    offline_replay,
+    schedule_from_acks,
+    sorted_arrivals,
+)
+from repro.live.subscriptions import THRESHOLD, UPDATE, Subscription
+from repro.motifs.catalog import motif_by_name
+from repro.service.query import payload_bytes
+
+SCALES = {
+    "email-eu": 0.03,
+    "mathoverflow": 0.025,
+    "ask-ubuntu": 0.02,
+    "superuser": 0.015,
+    "wiki-talk": 0.012,
+    "stackoverflow": 0.008,
+}
+
+BATCH_SIZES = (1, 7, None)  # None = single all-at-once batch
+
+
+def make_panel(delta):
+    """A small mixed panel: update + threshold, full-delta + half-delta."""
+    return [
+        ("M1", delta, UPDATE, None),
+        ("M2", max(1, delta // 2), UPDATE, None),
+        ("M3", delta, THRESHOLD, 0),
+        ("ping-pong", delta, THRESHOLD, 2),
+        ("fan-in", delta, UPDATE, None),
+    ]
+
+
+def run_case(dataset, batch_size, shuffle="none", seed=3):
+    g = make_dataset(dataset, scale=SCALES[dataset], seed=11)
+    delta = max(1, g.time_span // 40)
+    edges = list(zip(g.src.tolist(), g.dst.tolist(), g.ts.tolist()))
+    size = len(edges) if batch_size is None else batch_size
+    block = 4 * size
+    arrivals = _shuffled(edges, shuffle, seed, block)
+
+    opts = {}
+    if shuffle == "full":
+        opts = {"lateness": None, "reorder_capacity": len(arrivals) + 1}
+    elif shuffle == "block":
+        opts = {"lateness": None, "reorder_capacity": block}
+    live = LiveGraph(dataset, delta, **opts)
+
+    specs, outbox_capacity = [], (len(arrivals) // size) + 16
+    for i, (motif, sub_delta, kind, threshold) in enumerate(make_panel(delta)):
+        sub_id = f"sub-{i}"
+        live.attach(
+            Subscription(sub_id, dataset, motif_by_name(motif), sub_delta,
+                         kind=kind, threshold=threshold,
+                         outbox_capacity=outbox_capacity)
+        )
+        specs.append(
+            SubSpec(sub_id, motif_by_name(motif), sub_delta, kind, threshold)
+        )
+
+    acks = []
+    for i in range(0, len(arrivals), size):
+        acks.append(live.append_batch(arrivals[i:i + size], seq=i))
+    acks.append(live.append_batch([], seq=len(arrivals) + 1, flush=True))
+    assert live.reorder.late_dropped == 0
+
+    expected = offline_replay(
+        sorted_arrivals(arrivals), specs, schedule_from_acks(acks),
+        dataset, delta,
+    )
+    for spec in specs:
+        got = live.subscriptions[spec.sub_id].outbox.read_after(0)
+        want = expected["events"][spec.sub_id]
+        assert [payload_bytes(e) for e in got] == [
+            payload_bytes(e) for e in want
+        ], f"{dataset} batch={batch_size} shuffle={shuffle}: {spec.sub_id}"
+    assert live.status()["window_fingerprint"] == \
+        expected["window_fingerprint"]
+    return expected
+
+
+def test_scales_cover_every_generator_family():
+    assert set(SCALES) == set(DATASET_NAMES)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES,
+                         ids=lambda b: f"batch-{b or 'all'}")
+@pytest.mark.parametrize("dataset", sorted(SCALES))
+def test_in_order_parity(dataset, batch_size):
+    expected = run_case(dataset, batch_size, shuffle="none")
+    # Not a vacuous pass: the panel must actually complete instances.
+    assert sum(expected["counts"].values()) > 0
+
+
+@pytest.mark.parametrize("dataset", sorted(SCALES))
+def test_block_shuffled_arrival_parity(dataset):
+    run_case(dataset, 7, shuffle="block")
+
+
+@pytest.mark.parametrize("dataset", ["email-eu", "wiki-talk"])
+def test_fully_shuffled_arrival_parity(dataset):
+    run_case(dataset, 7, shuffle="full")
+
+
+def test_batch_size_does_not_change_bytes():
+    """Same dataset through different batchings yields identical final
+    windows (event streams differ only in how they are sliced)."""
+    fps = set()
+    for batch_size in BATCH_SIZES:
+        expected = run_case("email-eu", batch_size)
+        fps.add(expected["window_fingerprint"])
+    assert len(fps) == 1

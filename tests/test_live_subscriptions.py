@@ -1,0 +1,194 @@
+"""Standing subscriptions: window tracking, threshold arming, and the
+bounded at-least-once outbox."""
+
+import threading
+
+import pytest
+
+from repro.graph.generators import make_dataset
+from repro.live.ingest import LiveGraph
+from repro.live.outbox import Outbox
+from repro.live.subscriptions import (
+    THRESHOLD,
+    UPDATE,
+    Subscription,
+    WindowTracker,
+)
+from repro.motifs.catalog import motif_by_name
+
+
+class TestWindowTracker:
+    def test_counts_only_completions_inside_window(self):
+        w = WindowTracker(delta=10)
+        w.record(5, 2)
+        w.record(12, 1)
+        w.expire(14)  # horizon 4: both survive
+        assert w.window_count == 3
+        w.expire(20)  # horizon 10: t=5 falls out
+        assert w.window_count == 1
+
+    def test_zero_completions_not_recorded(self):
+        w = WindowTracker(delta=10)
+        w.record(5, 0)
+        assert w.window_count == 0
+
+    def test_crossed_is_edge_triggered(self):
+        w = WindowTracker(delta=100)
+        w.record(1, 3)
+        assert w.crossed(2)          # 3 > 2, armed -> fires
+        w.record(2, 1)
+        assert not w.crossed(2)      # still above, disarmed
+        w.expire(200)                # window empties -> re-arms at <= k
+        assert not w.crossed(2)
+        w.record(201, 5)
+        assert w.crossed(2)          # fires again after re-arm
+
+
+class TestSubscription:
+    def make(self, **kw):
+        kw.setdefault("sub_id", "sub-1")
+        kw.setdefault("graph_name", "g")
+        kw.setdefault("motif", motif_by_name("M2"))
+        kw.setdefault("delta", 50)
+        return Subscription(**kw)
+
+    def test_threshold_requires_threshold_value(self):
+        with pytest.raises(ValueError):
+            self.make(kind=THRESHOLD)
+        with pytest.raises(ValueError):
+            self.make(kind=UPDATE, threshold=3)
+        with pytest.raises(ValueError):
+            self.make(kind="bogus")
+
+    def test_update_kind_fires_every_evaluation(self):
+        sub = self.make()
+        sub.advance(0, 1, 10)
+        ev = sub.evaluate(version=1, t_now=10, batch_completed=0,
+                          window_edges=1)
+        assert ev is not None and ev["type"] == "update"
+        assert ev["version"] == 1
+        queued = sub.outbox.read_after(0)
+        assert [e["seq"] for e in queued] == [1]
+        assert sub.status()["fires"] == 1
+
+    def test_threshold_kind_fires_only_on_crossing(self):
+        # ping-pong (a->b, b->a) completes once per returning edge.
+        sub = self.make(motif=motif_by_name("ping-pong"), kind=THRESHOLD,
+                        threshold=1)
+        events = []
+        t = 0
+        for s, d in [(0, 1), (1, 0), (0, 1), (1, 0)]:
+            t += 1
+            done = sub.advance(s, d, t)
+            ev = sub.evaluate(version=t, t_now=t, batch_completed=done,
+                              window_edges=t)
+            if ev is not None:
+                events.append(ev)
+        # Window count goes 0,1,1,2(+1 new pair): crosses 1 exactly once.
+        assert [e["type"] for e in events] == ["alert"]
+        assert events[0]["threshold"] == 1
+        assert events[0]["window_count"] > 1
+
+    def test_counts_match_live_graph_feed(self):
+        g = make_dataset("email-eu", scale=0.03, seed=7)
+        delta = max(1, g.time_span // 20)
+        live = LiveGraph("g", delta)
+        sub = self.make(delta=delta)
+        live.attach(sub)
+        edges = list(zip(g.src.tolist(), g.dst.tolist(), g.ts.tolist()))
+        live.append_batch(edges, seq=0, flush=True)
+        from repro.mining.mackey import MackeyMiner
+        serial = MackeyMiner(g, sub.motif, delta).mine()
+        assert sub.count == serial.count
+
+    def test_status_shape(self):
+        sub = self.make(kind=THRESHOLD, threshold=4)
+        st = sub.status()
+        assert st["kind"] == "threshold" and st["threshold"] == 4
+        assert "armed" in st and "outbox" in st and st["count"] == 0
+
+
+class TestOutbox:
+    def test_append_stamps_monotonic_seq_without_mutating_input(self):
+        box = Outbox("sub-1", capacity=4)
+        ev = {"type": "update"}
+        assert box.append(ev) == 1
+        assert box.append({"type": "update"}) == 2
+        assert "seq" not in ev  # caller's dict untouched
+        assert [e["seq"] for e in box.read_after(0)] == [1, 2]
+
+    def test_reads_do_not_consume(self):
+        box = Outbox("sub-1", capacity=4)
+        box.append({"type": "update"})
+        assert len(box.read_after(0)) == 1
+        assert len(box.read_after(0)) == 1  # at-least-once: still there
+
+    def test_drop_oldest_and_gap_synthesis(self):
+        drops, gaps = [], []
+        box = Outbox("sub-1", capacity=3, on_drop=lambda n: drops.append(n),
+                     on_gap=lambda n: gaps.append(n))
+        for i in range(5):
+            box.append({"type": "update", "i": i})
+        assert box.retained == 3 and sum(drops) == 2
+        events = box.read_after(0)
+        gap, rest = events[0], events[1:]
+        assert gap["type"] == "gap"
+        assert gap["from_seq"] == 1 and gap["to_seq"] == 2
+        assert gap["dropped"] == 2
+        assert [e["seq"] for e in rest] == [3, 4, 5]
+        assert gaps == [1]
+        # A reader already past the drop horizon sees no gap.
+        assert [e["seq"] for e in box.read_after(3)] == [4, 5]
+
+    def test_max_events_limits_page(self):
+        box = Outbox("sub-1", capacity=8)
+        for i in range(6):
+            box.append({"i": i})
+        page = box.read_after(0, max_events=2)
+        assert [e["seq"] for e in page] == [1, 2]
+        rest = box.read_after(page[-1]["seq"])
+        assert [e["seq"] for e in rest] == [3, 4, 5, 6]
+
+    def test_wait_events_wakes_on_append(self):
+        box = Outbox("sub-1", capacity=4)
+        got = []
+
+        def reader():
+            got.extend(box.wait_events(after=0, timeout_s=5.0))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        box.append({"type": "update"})
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert [e["seq"] for e in got] == [1]
+
+    def test_wait_events_times_out_empty(self):
+        box = Outbox("sub-1", capacity=4)
+        assert box.wait_events(after=0, timeout_s=0.05) == []
+
+    def test_close_wakes_waiters_and_blocks_appends(self):
+        box = Outbox("sub-1", capacity=4)
+        results = []
+
+        def reader():
+            results.append(box.wait_events(after=0, timeout_s=10.0))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        box.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive() and results == [[]]
+        with pytest.raises(RuntimeError):
+            box.append({"type": "update"})
+
+    def test_delivery_counter_and_lag_hook(self):
+        lags = []
+        box = Outbox("sub-1", capacity=4,
+                     on_deliver=lambda n, lag: lags.append(lag))
+        box.append({"type": "update"})
+        box.read_after(0)
+        box.read_after(0)
+        stats = box.stats()
+        assert stats["delivered"] == 2
+        assert len(lags) == 2 and all(lag >= 0 for lag in lags)
